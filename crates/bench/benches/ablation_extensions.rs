@@ -1,0 +1,84 @@
+//! Ablation benches for the Section 6 extensions (DESIGN.md calls these
+//! out): replication DP scaling, the cost of exact sharing vs the LPT
+//! heuristic, and bounded-buffer simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cpo_bench::fully_hom_instance;
+use cpo_core::dp::HomCtx;
+use cpo_core::replication::{min_energy_replicated_under_period, replicated_period_table};
+use cpo_core::sharing::{exact_min_period_general, lpt_general_period};
+use cpo_model::generator::{random_apps, AppGenConfig};
+use cpo_model::prelude::*;
+use cpo_simulator::simulate_with_buffers;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_extensions");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.sample_size(15);
+
+    // Replicated period DP: O(n² p²) scaling.
+    for n in [8usize, 16, 32] {
+        let (apps, pf) = fully_hom_instance(1, n, 12, (1, 2));
+        let speeds = pf.procs[0].speeds().to_vec();
+        g.bench_with_input(BenchmarkId::new("replicated_period_dp", n), &n, |b, _| {
+            let ctx = HomCtx::new(&apps.apps[0], &speeds, 1.0, CommModel::Overlap);
+            b.iter(|| replicated_period_table(black_box(&ctx), 12))
+        });
+    }
+
+    // Replication-aware energy DP.
+    for n in [8usize, 16, 32] {
+        let (apps, pf) = fully_hom_instance(2, n, 8, (3, 3));
+        let tb: Vec<f64> = apps.apps.iter().map(|a| a.total_work() / 4.0 + 2.0).collect();
+        g.bench_with_input(BenchmarkId::new("replicated_energy_dp", n), &n, |b, _| {
+            b.iter(|| {
+                min_energy_replicated_under_period(
+                    black_box(&apps),
+                    &pf,
+                    CommModel::Overlap,
+                    &tb,
+                )
+            })
+        });
+    }
+
+    // Sharing: exact (exponential) vs LPT (polynomial) on tiny instances.
+    let cfg = AppGenConfig { apps: 2, stages: (2, 2), ..Default::default() };
+    let apps = random_apps(&cfg, 3);
+    let pf = Platform::fully_homogeneous(2, vec![2.0], 1.0).unwrap();
+    g.bench_function("sharing_exact_tiny", |b| {
+        b.iter(|| exact_min_period_general(black_box(&apps), &pf, CommModel::Overlap))
+    });
+    g.bench_function("sharing_lpt_tiny", |b| {
+        b.iter(|| lpt_general_period(black_box(&apps), &pf, CommModel::Overlap))
+    });
+
+    // Bounded-buffer simulation sweep.
+    let app = cpo_model::application::Application::from_pairs(0.0, &[(1.0, 4.0), (4.0, 0.0)]);
+    let bapps = AppSet::single(app);
+    let bpf = Platform::fully_homogeneous(2, vec![1.0], 1.0).unwrap();
+    let mapping = Mapping::new()
+        .with(Interval::new(0, 0, 0), 0, 0)
+        .with(Interval::new(0, 1, 1), 1, 0);
+    for cap in [1usize, 4, usize::MAX] {
+        let label = if cap == usize::MAX { "inf".to_string() } else { cap.to_string() };
+        g.bench_with_input(BenchmarkId::new("sim_buffer_capacity", label), &cap, |b, &cap| {
+            b.iter(|| {
+                simulate_with_buffers(
+                    black_box(&bapps),
+                    &bpf,
+                    &mapping,
+                    CommModel::Overlap,
+                    128,
+                    cap,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

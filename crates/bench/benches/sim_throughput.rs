@@ -1,0 +1,55 @@
+//! SIM — discrete-event simulator throughput: operations processed per
+//! second over growing horizons and chain lengths; validates that the
+//! simulator itself scales linearly in (datasets × stages).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cpo_bench::fully_hom_instance;
+use cpo_model::prelude::*;
+use cpo_simulator::simulate;
+use rand::prelude::*;
+use std::hint::black_box;
+
+fn make_mapping(apps: &AppSet, platform: &Platform, seed: u64) -> Mapping {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut procs: Vec<usize> = (0..platform.p()).collect();
+    procs.shuffle(&mut rng);
+    let mut mapping = Mapping::new();
+    let mut next = 0usize;
+    for (a, app) in apps.apps.iter().enumerate() {
+        let mut first = 0usize;
+        while first < app.n() {
+            let last = rng.gen_range(first..app.n());
+            let u = procs[next];
+            next += 1;
+            mapping.push(Interval::new(a, first, last), u, 0);
+            first = last + 1;
+        }
+    }
+    mapping
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sim_throughput");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.sample_size(15);
+    for datasets in [64usize, 256, 1024] {
+        let (apps, pf) = fully_hom_instance(2, 6, 14, (1, 1));
+        let mapping = make_mapping(&apps, &pf, 5);
+        g.throughput(Throughput::Elements(datasets as u64));
+        g.bench_with_input(BenchmarkId::new("datasets", datasets), &datasets, |b, &d| {
+            b.iter(|| simulate(black_box(&apps), &pf, &mapping, CommModel::Overlap, d))
+        });
+    }
+    for n in [8usize, 32, 128] {
+        let (apps, pf) = fully_hom_instance(1, n, n + 1, (1, 1));
+        let mapping = make_mapping(&apps, &pf, 6);
+        g.bench_with_input(BenchmarkId::new("chain_length", n), &n, |b, _| {
+            b.iter(|| simulate(black_box(&apps), &pf, &mapping, CommModel::NoOverlap, 128))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

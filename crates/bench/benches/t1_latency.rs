@@ -1,0 +1,33 @@
+//! Table 1, rows "Latency": the Theorem 12 greedy (interval, comm-hom)
+//! over the application count A, and the trivial Theorem 8 construction
+//! (one-to-one, fully homogeneous).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cpo_bench::{comm_hom_instance, fully_hom_instance};
+use cpo_core::mono::latency::{
+    min_latency_interval_comm_hom, min_latency_one_to_one_fully_hom,
+};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1_latency");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.sample_size(15);
+    for a in [4usize, 8, 16, 32] {
+        let (apps, pf) = comm_hom_instance(a, 4, a + 4, (1, 3));
+        g.bench_with_input(BenchmarkId::new("interval_thm12", a), &a, |b, _| {
+            b.iter(|| min_latency_interval_comm_hom(black_box(&apps), &pf).expect("p >= A"))
+        });
+    }
+    for n_total in [16usize, 64] {
+        let (apps, pf) = fully_hom_instance(4, n_total / 4, n_total + 2, (1, 2));
+        g.bench_with_input(BenchmarkId::new("one_to_one_thm8", n_total), &n_total, |b, _| {
+            b.iter(|| min_latency_one_to_one_fully_hom(black_box(&apps), &pf).expect("p >= N"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Table 1, row "Period / interval": Theorem 3's per-application dynamic
+//! program + Algorithm 2 allocation on fully homogeneous platforms, swept
+//! over the chain length n (A = 4 applications, p = 16 processors).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cpo_bench::fully_hom_instance;
+use cpo_core::mono::period_interval::minimize_global_period;
+use cpo_model::prelude::*;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1_period_interval");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.sample_size(15);
+    for n in [8usize, 16, 32, 64] {
+        let (apps, pf) = fully_hom_instance(4, n, 16, (1, 2));
+        g.bench_with_input(BenchmarkId::new("algorithm2", n), &n, |b, _| {
+            b.iter(|| {
+                minimize_global_period(black_box(&apps), &pf, CommModel::Overlap)
+                    .expect("p >= A")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Table 1, row "Period / one-to-one": the Theorem 1 binary search + greedy
+//! on communication homogeneous platforms, swept over the total stage
+//! count N (with p = N + 4 processors). The paper claims
+//! O((n_max·A·p)² log(n_max·A·p)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cpo_bench::comm_hom_instance;
+use cpo_core::mono::period_one_to_one::min_period_one_to_one_comm_hom;
+use cpo_model::prelude::*;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t1_period_one_to_one");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.sample_size(15);
+    for n_total in [16usize, 32, 64, 128] {
+        let (apps, pf) = comm_hom_instance(4, n_total / 4, n_total + 4, (1, 3));
+        for model in CommModel::ALL {
+            g.bench_with_input(
+                BenchmarkId::new(format!("{model:?}"), n_total),
+                &n_total,
+                |b, _| {
+                    b.iter(|| {
+                        min_period_one_to_one_comm_hom(black_box(&apps), &pf, model)
+                            .expect("p >= N")
+                    })
+                },
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

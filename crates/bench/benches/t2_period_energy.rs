@@ -1,0 +1,40 @@
+//! Table 2, rows "Period/Energy": Theorem 19 (Hungarian matching,
+//! one-to-one, comm-hom) over the stage count N and Theorems 18/21
+//! (interval DP + convolution, fully-hom) over the chain length n.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cpo_bench::{comm_hom_instance, fully_hom_instance, workable_period_bounds};
+use cpo_core::bi::period_energy::{
+    min_energy_interval_fully_hom, min_energy_one_to_one_matching,
+};
+use cpo_model::prelude::*;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t2_period_energy");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.sample_size(15);
+    for n_total in [16usize, 32, 64] {
+        let (apps, pf) = comm_hom_instance(4, n_total / 4, n_total, (2, 3));
+        let tb = workable_period_bounds(&apps, 2.0);
+        g.bench_with_input(BenchmarkId::new("matching_thm19", n_total), &n_total, |b, _| {
+            b.iter(|| {
+                min_energy_one_to_one_matching(black_box(&apps), &pf, CommModel::Overlap, &tb)
+            })
+        });
+    }
+    for n in [8usize, 16, 32] {
+        let (apps, pf) = fully_hom_instance(2, n, 8, (3, 3));
+        let tb = workable_period_bounds(&apps, 4.0);
+        g.bench_with_input(BenchmarkId::new("interval_dp_thm18_21", n), &n, |b, _| {
+            b.iter(|| {
+                min_energy_interval_fully_hom(black_box(&apps), &pf, CommModel::Overlap, &tb)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Table 2, row "Period/Latency": the Theorem 15/16 dynamic program
+//! (latency under period bounds) and its binary-search dual, fully
+//! homogeneous platforms, swept over the chain length n.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cpo_bench::fully_hom_instance;
+use cpo_core::bi::period_latency::{
+    min_latency_under_period_fully_hom, min_period_under_latency_fully_hom,
+};
+use cpo_core::mono::period_interval::minimize_global_period;
+use cpo_model::prelude::*;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("t2_period_latency");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.sample_size(15);
+    for n in [8usize, 16, 32] {
+        let (apps, pf) = fully_hom_instance(2, n, 8, (1, 1));
+        let base = minimize_global_period(&apps, &pf, CommModel::Overlap)
+            .expect("p >= A")
+            .objective;
+        let tb = vec![base * 1.5; apps.a()];
+        g.bench_with_input(BenchmarkId::new("latency_under_period", n), &n, |b, _| {
+            b.iter(|| {
+                min_latency_under_period_fully_hom(
+                    black_box(&apps),
+                    &pf,
+                    CommModel::Overlap,
+                    &tb,
+                )
+            })
+        });
+        let lb = vec![1e6; apps.a()];
+        g.bench_with_input(BenchmarkId::new("period_under_latency", n), &n, |b, _| {
+            b.iter(|| {
+                min_period_under_latency_fully_hom(
+                    black_box(&apps),
+                    &pf,
+                    CommModel::Overlap,
+                    &lb,
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Shared fixtures for the bench suite.
+//!
+//! Every bench target regenerates one table or figure artifact of the
+//! paper (see DESIGN.md's per-experiment index); the helpers here build
+//! the deterministic instances they sweep over.
+
+use cpo_model::generator::{
+    random_apps, random_comm_homogeneous, random_fully_homogeneous, AppGenConfig,
+    PlatformGenConfig,
+};
+use cpo_model::prelude::*;
+
+/// `A` applications of `n` stages each plus a communication homogeneous
+/// platform of `p` multi-modal processors, deterministic per `(n, p)`.
+pub fn comm_hom_instance(a: usize, n: usize, p: usize, modes: (usize, usize)) -> (AppSet, Platform) {
+    let apps = random_apps(&AppGenConfig { apps: a, stages: (n, n), ..Default::default() }, 71);
+    let pf = random_comm_homogeneous(
+        &PlatformGenConfig { procs: p, modes, ..Default::default() },
+        72,
+    );
+    (apps, pf)
+}
+
+/// Fully homogeneous counterpart.
+pub fn fully_hom_instance(
+    a: usize,
+    n: usize,
+    p: usize,
+    modes: (usize, usize),
+) -> (AppSet, Platform) {
+    let apps = random_apps(&AppGenConfig { apps: a, stages: (n, n), ..Default::default() }, 73);
+    let pf = random_fully_homogeneous(
+        &PlatformGenConfig { procs: p, modes, ..Default::default() },
+        74,
+    );
+    (apps, pf)
+}
+
+/// Period bounds loose enough to be feasible but tight enough to force
+/// real mode/splitting decisions.
+pub fn workable_period_bounds(apps: &AppSet, divisor: f64) -> Vec<f64> {
+    apps.apps.iter().map(|a| a.total_work() / divisor + 2.0).collect()
+}

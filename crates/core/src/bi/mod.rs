@@ -1,0 +1,6 @@
+//! Bi-criteria solvers (Section 5 of the paper): period/latency and
+//! period/energy, following the threshold approach — one criterion is
+//! optimized under per-application bounds on the other.
+
+pub mod period_energy;
+pub mod period_latency;

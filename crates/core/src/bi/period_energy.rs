@@ -1,0 +1,317 @@
+//! Theorems 18, 19 and 21 — bi-criteria period/energy.
+//!
+//! * **Theorem 19** (one-to-one, communication homogeneous, multi-modal):
+//!   build the bipartite graph stages × processors where the edge weight is
+//!   the energy of the *slowest* mode meeting the stage's period bound
+//!   (`∞` if none), then compute a minimum-weight matching — here with the
+//!   from-scratch Hungarian algorithm of `cpo-matching`.
+//! * **Theorem 18** (interval, fully homogeneous, single application):
+//!   dynamic program `E(i, j, k)` with per-interval cheapest feasible mode
+//!   ([`crate::dp::energy_under_period`]).
+//! * **Theorem 21** (interval, fully homogeneous, many applications):
+//!   convolution `E(a, k) = min_q (E_a^q + E(a−1, k−q))` over the
+//!   per-application tables.
+
+use crate::dp::{energy_under_period, HomCtx};
+use crate::mono::period_interval::mapping_from_partitions;
+use crate::solution::Solution;
+use cpo_matching::hungarian_min_cost;
+use cpo_model::num;
+use cpo_model::prelude::*;
+
+/// Theorem 19: minimize total energy with a one-to-one mapping on a
+/// communication homogeneous platform, subject to per-application period
+/// bounds. Polynomial (Hungarian algorithm, `O(N²·p)`).
+///
+/// Returns `None` when `p < N`, links are heterogeneous (NP-hard then,
+/// Theorem 20) or no feasible matching exists.
+pub fn min_energy_one_to_one_matching(
+    apps: &AppSet,
+    platform: &Platform,
+    model: CommModel,
+    period_bounds: &[f64],
+) -> Option<Solution> {
+    assert_eq!(period_bounds.len(), apps.a(), "one period bound per application");
+    if !crate::mono::links_are_homogeneous(platform) {
+        return None;
+    }
+    let n_total = apps.total_stages();
+    let p = platform.p();
+    if p < n_total {
+        return None;
+    }
+    let energy = EnergyModel::default();
+
+    // Row = stage, column = processor; cost = cheapest feasible mode energy.
+    let mut rows = Vec::with_capacity(n_total);
+    let mut stage_ids = Vec::with_capacity(n_total);
+    for (a, app) in apps.apps.iter().enumerate() {
+        let b = crate::mono::app_bandwidth(platform, a)?;
+        for k in 0..app.n() {
+            let incoming = app.input_of(k) / b;
+            let outgoing = app.output_of(k) / b;
+            let bound = period_bounds[a];
+            let row: Vec<f64> = (0..p)
+                .map(|u| {
+                    let proc = &platform.procs[u];
+                    (0..proc.modes())
+                        .find(|&m| {
+                            num::le(
+                                model.combine(incoming, app.stages[k].work / proc.speed(m), outgoing),
+                                bound,
+                            )
+                        })
+                        .map(|m| energy.proc_energy(platform, u, m))
+                        .unwrap_or(f64::INFINITY)
+                })
+                .collect();
+            rows.push(row);
+            stage_ids.push((a, k));
+        }
+    }
+
+    let result = hungarian_min_cost(&rows)?;
+    let mut mapping = Mapping::new();
+    for (i, &(a, k)) in stage_ids.iter().enumerate() {
+        let u = result.row_to_col[i];
+        // Recover the selected mode: the cheapest feasible one.
+        let b = crate::mono::app_bandwidth(platform, a).expect("checked above");
+        let incoming = apps.apps[a].input_of(k) / b;
+        let outgoing = apps.apps[a].output_of(k) / b;
+        let proc = &platform.procs[u];
+        let mode = (0..proc.modes())
+            .find(|&m| {
+                num::le(
+                    model.combine(incoming, apps.apps[a].stages[k].work / proc.speed(m), outgoing),
+                    period_bounds[a],
+                )
+            })
+            .expect("matched edge is feasible");
+        mapping.push(Interval::new(a, k, k), u, mode);
+    }
+    debug_assert!(mapping.validate(apps, platform).is_ok());
+    let achieved = Evaluator::new(apps, platform).energy(&mapping);
+    debug_assert!(num::approx_eq(achieved, result.cost));
+    Some(Solution::new(mapping, achieved))
+}
+
+/// Theorems 18 + 21: minimize total energy with an interval mapping on a
+/// fully homogeneous multi-modal platform, subject to per-application
+/// period bounds. `O(A·n³·p²)` as in the paper.
+pub fn min_energy_interval_fully_hom(
+    apps: &AppSet,
+    platform: &Platform,
+    model: CommModel,
+    period_bounds: &[f64],
+) -> Option<Solution> {
+    assert_eq!(period_bounds.len(), apps.a(), "one period bound per application");
+    if platform.class() != PlatformClass::FullyHomogeneous {
+        return None;
+    }
+    let b = match &platform.links {
+        cpo_model::platform::Links::Uniform(b) => *b,
+        cpo_model::platform::Links::PerApp(bs) => bs[0],
+        cpo_model::platform::Links::Heterogeneous { .. } => return None,
+    };
+    let speeds = platform.procs[0].speeds().to_vec();
+    let e_stat = platform.procs[0].e_stat;
+    let p = platform.p();
+    let a_count = apps.a();
+    if p < a_count {
+        return None;
+    }
+    let qmax = p - a_count + 1;
+
+    // Per-application tables E_a^q (exactly q processors).
+    let tables: Vec<_> = apps
+        .apps
+        .iter()
+        .zip(period_bounds)
+        .map(|(app, &tb)| {
+            let mut ctx = HomCtx::new(app, &speeds, b, model);
+            ctx.e_stat = e_stat;
+            energy_under_period(&ctx, tb, qmax)
+        })
+        .collect();
+
+    // Theorem 21 convolution: E(a, k) = min_q (E_a^q + E(a-1, k-q)).
+    let inf = f64::INFINITY;
+    let mut e = vec![vec![inf; p + 1]; a_count + 1];
+    let mut choice = vec![vec![usize::MAX; p + 1]; a_count + 1];
+    e[0][0] = 0.0;
+    for a in 1..=a_count {
+        let tbl = &tables[a - 1];
+        for k in a..=p {
+            let mut best = inf;
+            let mut arg = usize::MAX;
+            let qcap = tbl.exact_k.len().min(k - (a - 1));
+            for q in 1..=qcap {
+                let prev = e[a - 1][k - q];
+                let cur = tbl.exact_k[q - 1];
+                if prev.is_finite() && cur.is_finite() && prev + cur < best {
+                    best = prev + cur;
+                    arg = q;
+                }
+            }
+            e[a][k] = best;
+            choice[a][k] = arg;
+        }
+    }
+    let (k_best, &e_best) = e[a_count]
+        .iter()
+        .enumerate()
+        .min_by(|(_, x), (_, y)| x.partial_cmp(y).expect("no NaN"))?;
+    if !e_best.is_finite() {
+        return None;
+    }
+
+    // Reconstruct per-application processor counts, then partitions.
+    let mut counts = vec![0usize; a_count];
+    let mut k = k_best;
+    for a in (1..=a_count).rev() {
+        let q = choice[a][k];
+        counts[a - 1] = q;
+        k -= q;
+    }
+    let partitions: Vec<_> = (0..a_count)
+        .map(|a| tables[a].partition_exact(counts[a]).expect("finite energy"))
+        .collect();
+    let mapping = mapping_from_partitions(&partitions);
+    debug_assert!(mapping.validate(apps, platform).is_ok());
+    let achieved = Evaluator::new(apps, platform).energy(&mapping);
+    debug_assert!(num::approx_eq(achieved, e_best));
+    Some(Solution::new(mapping, achieved))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpo_model::application::Application;
+    use cpo_model::generator::section2_example;
+
+    #[test]
+    fn section2_energy_under_period_2() {
+        // The Section 2 compromise: period ≤ 2 per application costs
+        // energy 46 (3² + 6² + 1²) with an interval mapping. The platform
+        // there is *not* fully homogeneous, so exercise the matching-based
+        // one-to-one on the real platform via exact later; here check the
+        // DP on the homogenized version.
+        let (apps, _) = section2_example();
+        let pf = Platform::fully_homogeneous(3, vec![1.0, 3.0, 6.0, 8.0], 1.0).unwrap();
+        let sol =
+            min_energy_interval_fully_hom(&apps, &pf, CommModel::Overlap, &[2.0, 2.0]).unwrap();
+        let ev = Evaluator::new(&apps, &pf);
+        assert!(ev.app_period(&sol.mapping, 0, CommModel::Overlap) <= 2.0 + 1e-9);
+        assert!(ev.app_period(&sol.mapping, 1, CommModel::Overlap) <= 2.0 + 1e-9);
+        // App1 (work 6) on one proc at speed 3 → 9; app2 (work 14) needs a
+        // split: [2+6]@6, [4+2]@3 → 36 + 9 = 45, or [2+6+4]@6, [2]@1 → 37.
+        // Best total: 9 + 37 = 46.
+        assert!((sol.objective - 46.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matching_handles_multi_modal_choice() {
+        // One 2-stage app; two processors; bound forces fast mode on the
+        // heavy stage only.
+        let apps = AppSet::single(Application::from_pairs(0.0, &[(8.0, 0.0), (2.0, 0.0)]));
+        let pf = Platform::comm_homogeneous(
+            vec![
+                cpo_model::platform::Processor::new(vec![1.0, 4.0]).unwrap(),
+                cpo_model::platform::Processor::new(vec![1.0, 4.0]).unwrap(),
+            ],
+            1.0,
+        )
+        .unwrap();
+        let sol =
+            min_energy_one_to_one_matching(&apps, &pf, CommModel::Overlap, &[2.0]).unwrap();
+        // Stage 8 needs speed 4 (16); stage 2 runs at 1 (1). Total 17.
+        assert!((sol.objective - 17.0).abs() < 1e-9);
+        assert!(sol.mapping.is_one_to_one());
+    }
+
+    #[test]
+    fn matching_infeasible_bound() {
+        let apps = AppSet::single(Application::from_pairs(0.0, &[(8.0, 0.0)]));
+        let pf = Platform::comm_homogeneous(
+            vec![cpo_model::platform::Processor::new(vec![1.0]).unwrap()],
+            1.0,
+        )
+        .unwrap();
+        assert!(min_energy_one_to_one_matching(&apps, &pf, CommModel::Overlap, &[1.0]).is_none());
+    }
+
+    #[test]
+    fn interval_dp_spends_energy_only_when_needed() {
+        let apps = AppSet::new(vec![
+            Application::from_pairs(0.0, &[(4.0, 0.0), (4.0, 0.0)]),
+            Application::from_pairs(0.0, &[(2.0, 0.0)]),
+        ])
+        .unwrap();
+        let pf = Platform::fully_homogeneous(4, vec![1.0, 2.0, 4.0], 1.0).unwrap();
+        // Loose bound: everything at the slowest speed on one proc each.
+        let loose =
+            min_energy_interval_fully_hom(&apps, &pf, CommModel::Overlap, &[100.0, 100.0])
+                .unwrap();
+        assert!((loose.objective - 2.0).abs() < 1e-9); // 1² + 1²
+        // Tight bound 2: app0 splits [4][4] at speed 2 (4+4) or single at 4
+        // (16); app1 at speed 1 (1). Best 9.
+        let tight =
+            min_energy_interval_fully_hom(&apps, &pf, CommModel::Overlap, &[2.0, 2.0]).unwrap();
+        assert!((tight.objective - 9.0).abs() < 1e-9);
+        assert!(tight.objective >= loose.objective);
+    }
+
+    #[test]
+    fn interval_dp_infeasible_returns_none() {
+        let apps = AppSet::single(Application::from_pairs(0.0, &[(4.0, 0.0)]));
+        let pf = Platform::fully_homogeneous(2, vec![1.0], 1.0).unwrap();
+        assert!(
+            min_energy_interval_fully_hom(&apps, &pf, CommModel::Overlap, &[0.5]).is_none()
+        );
+    }
+
+    #[test]
+    fn static_energy_counted_in_matching() {
+        let apps = AppSet::single(Application::from_pairs(0.0, &[(1.0, 0.0)]));
+        let pf = Platform::comm_homogeneous(
+            vec![
+                cpo_model::platform::Processor::new(vec![1.0]).unwrap().with_static_energy(10.0),
+                cpo_model::platform::Processor::new(vec![2.0]).unwrap().with_static_energy(0.0),
+            ],
+            1.0,
+        )
+        .unwrap();
+        let sol = min_energy_one_to_one_matching(&apps, &pf, CommModel::Overlap, &[10.0]).unwrap();
+        // P0 costs 10 + 1 = 11; P1 costs 0 + 4 = 4 → pick P1.
+        assert!((sol.objective - 4.0).abs() < 1e-9);
+        assert_eq!(sol.mapping.assignments[0].proc, 1);
+    }
+
+    #[test]
+    fn tighter_bounds_cost_more_energy() {
+        let (apps, _) = section2_example();
+        let pf = Platform::fully_homogeneous(3, vec![1.0, 2.0, 4.0, 8.0], 1.0).unwrap();
+        let mut last = 0.0;
+        for tb in [16.0, 8.0, 4.0, 2.0] {
+            if let Some(sol) =
+                min_energy_interval_fully_hom(&apps, &pf, CommModel::Overlap, &[tb, tb])
+            {
+                assert!(sol.objective >= last - 1e-9, "bound {tb}");
+                last = sol.objective;
+            }
+        }
+    }
+
+    #[test]
+    fn no_overlap_needs_more_energy_than_overlap() {
+        let (apps, _) = section2_example();
+        let pf = Platform::fully_homogeneous(3, vec![1.0, 2.0, 4.0, 8.0], 1.0).unwrap();
+        let ov = min_energy_interval_fully_hom(&apps, &pf, CommModel::Overlap, &[3.0, 3.0]);
+        let no = min_energy_interval_fully_hom(&apps, &pf, CommModel::NoOverlap, &[3.0, 3.0]);
+        match (ov, no) {
+            (Some(o), Some(n)) => assert!(n.objective >= o.objective - 1e-9),
+            (Some(_), None) => {} // no-overlap may be infeasible
+            other => panic!("unexpected feasibility pattern {other:?}"),
+        }
+    }
+}

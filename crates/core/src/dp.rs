@@ -1,0 +1,614 @@
+//! Single-application chain-partition dynamic programs on identical
+//! processors.
+//!
+//! Everything the paper's fully-homogeneous algorithms need boils down to
+//! partitioning one linear chain into `k` intervals over identical
+//! processors and optimizing period, latency or energy:
+//!
+//! * [`period_table`] — minimum period with at most `q` intervals
+//!   (the single-application algorithm of [3, 4] that the paper's
+//!   Algorithm 2 calls as a subroutine, Theorem 3);
+//! * [`latency_under_period`] — minimum latency subject to a period bound
+//!   (the `(L, T)(i, q)` recurrence of Theorem 15);
+//! * [`min_period_under_latency`] — the dual, by binary search over the
+//!   finite candidate-period set (Theorem 15);
+//! * [`energy_under_period`] — minimum energy subject to a period bound,
+//!   with the per-interval cheapest-feasible-mode rule (the `E(i, j, k)`
+//!   recurrence of Theorem 18).
+//!
+//! All programs run in `O(n²·q)` (times the number of modes for energy) and
+//! return reconstructible partitions.
+
+#![allow(clippy::needless_range_loop)]
+use cpo_model::application::Application;
+use cpo_model::energy::EnergyModel;
+use cpo_model::eval::CommModel;
+use cpo_model::num;
+
+/// Context for a single application on identical (homogeneous) processors.
+#[derive(Debug, Clone, Copy)]
+pub struct HomCtx<'a> {
+    /// The application being partitioned.
+    pub app: &'a Application,
+    /// The shared speed set (ascending). Performance-only programs use the
+    /// highest speed; the energy program searches all modes.
+    pub speeds: &'a [f64],
+    /// Static energy per enrolled processor.
+    pub e_stat: f64,
+    /// Uniform link bandwidth `b`.
+    pub bandwidth: f64,
+    /// Communication model (overlap / no-overlap).
+    pub model: CommModel,
+    /// Energy model (`α`).
+    pub energy: EnergyModel,
+}
+
+impl<'a> HomCtx<'a> {
+    /// Context with the default energy model.
+    pub fn new(app: &'a Application, speeds: &'a [f64], bandwidth: f64, model: CommModel) -> Self {
+        HomCtx { app, speeds, e_stat: 0.0, bandwidth, model, energy: EnergyModel::default() }
+    }
+
+    /// Highest available speed.
+    #[inline]
+    pub fn max_speed(&self) -> f64 {
+        *self.speeds.last().expect("non-empty speed set")
+    }
+
+    /// Cycle-time of the interval `[lo, hi]` (0-based inclusive) at `speed`.
+    #[inline]
+    pub fn cycle(&self, lo: usize, hi: usize, speed: f64) -> f64 {
+        let incoming = self.app.input_of(lo) / self.bandwidth;
+        let compute = self.app.interval_work(lo, hi) / speed;
+        let outgoing = self.app.output_of(hi) / self.bandwidth;
+        self.model.combine(incoming, compute, outgoing)
+    }
+
+    /// Latency contribution of interval `[lo, hi]`: compute + outgoing
+    /// communication (the incoming edge of the *first* interval is added
+    /// separately, Eq. 5).
+    #[inline]
+    pub fn latency_term(&self, lo: usize, hi: usize, speed: f64) -> f64 {
+        self.app.interval_work(lo, hi) / speed + self.app.output_of(hi) / self.bandwidth
+    }
+
+    /// Cheapest mode running `[lo, hi]` within period `t_bound`:
+    /// the slowest feasible speed (energy is increasing in speed since
+    /// `α > 1`). Returns `(mode index, energy)`.
+    pub fn cheapest_feasible_mode(&self, lo: usize, hi: usize, t_bound: f64) -> Option<(usize, f64)> {
+        for (m, &s) in self.speeds.iter().enumerate() {
+            if num::le(self.cycle(lo, hi, s), t_bound) {
+                return Some((m, self.e_stat + self.energy.dynamic(s)));
+            }
+        }
+        None
+    }
+
+    /// All candidate period values: cycle-times of every interval at every
+    /// speed. The optimal period over any partition is always one of them.
+    pub fn period_candidates(&self) -> Vec<f64> {
+        let n = self.app.n();
+        let mut out = Vec::with_capacity(n * (n + 1) / 2 * self.speeds.len());
+        for lo in 0..n {
+            for hi in lo..n {
+                for &s in self.speeds {
+                    out.push(self.cycle(lo, hi, s));
+                }
+            }
+        }
+        num::sorted_candidates(out)
+    }
+}
+
+/// A partition of the chain with the selected mode per interval.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    /// Intervals `(first, last)` in chain order (0-based inclusive).
+    pub intervals: Vec<(usize, usize)>,
+    /// Mode index per interval (into the shared speed set).
+    pub modes: Vec<usize>,
+}
+
+impl Partition {
+    /// Number of intervals (= processors used).
+    pub fn len(&self) -> usize {
+        self.intervals.len()
+    }
+
+    /// True when the partition is empty.
+    pub fn is_empty(&self) -> bool {
+        self.intervals.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Period minimization (Theorem 3 subroutine)
+// ---------------------------------------------------------------------------
+
+/// Result of the period DP: for every `q`, the minimum period achievable
+/// with at most `q` intervals at the highest speed.
+#[derive(Debug, Clone)]
+pub struct PeriodTable {
+    /// `best[q-1]` = minimum period with at most `q` intervals.
+    pub best: Vec<f64>,
+    n: usize,
+    /// `exact[k][i]` = min period, exactly `k` intervals over first `i` stages.
+    exact: Vec<Vec<f64>>,
+    /// `parent[k][i]` = split point `j` (stages `j..i` form the last interval).
+    parent: Vec<Vec<usize>>,
+}
+
+/// Minimum period of `app` with at most `q ∈ {1..qmax}` intervals, running
+/// every interval at the top speed (performance-only setting). `O(n²·qmax)`.
+pub fn period_table(ctx: &HomCtx<'_>, qmax: usize) -> PeriodTable {
+    let n = ctx.app.n();
+    let s = ctx.max_speed();
+    let kcap = qmax.min(n).max(1);
+    let inf = f64::INFINITY;
+    let mut exact = vec![vec![inf; n + 1]; kcap + 1];
+    let mut parent = vec![vec![usize::MAX; n + 1]; kcap + 1];
+    for i in 1..=n {
+        exact[1][i] = ctx.cycle(0, i - 1, s);
+        parent[1][i] = 0;
+    }
+    for k in 2..=kcap {
+        for i in k..=n {
+            let mut best = inf;
+            let mut arg = usize::MAX;
+            for j in (k - 1)..i {
+                let cand = num::fmax(exact[k - 1][j], ctx.cycle(j, i - 1, s));
+                if cand < best {
+                    best = cand;
+                    arg = j;
+                }
+            }
+            exact[k][i] = best;
+            parent[k][i] = arg;
+        }
+    }
+    let mut best = Vec::with_capacity(qmax);
+    let mut acc = inf;
+    for q in 1..=qmax {
+        let k = q.min(kcap);
+        acc = num::fmin(acc, exact[k][n]);
+        best.push(acc);
+    }
+    PeriodTable { best, n, exact, parent }
+}
+
+impl PeriodTable {
+    /// Reconstruct a partition achieving `best[q-1]` (at most `q` intervals,
+    /// all at the top mode).
+    pub fn partition(&self, q: usize, top_mode: usize) -> Partition {
+        let kcap = self.exact.len() - 1;
+        // Smallest k whose exact value attains best[q-1].
+        let target = self.best[q - 1];
+        let k = (1..=q.min(kcap))
+            .find(|&k| num::le(self.exact[k][self.n], target))
+            .expect("period table is consistent");
+        let mut intervals = Vec::with_capacity(k);
+        let mut i = self.n;
+        let mut kk = k;
+        while kk > 0 {
+            let j = self.parent[kk][i];
+            intervals.push((j, i - 1));
+            i = j;
+            kk -= 1;
+        }
+        intervals.reverse();
+        let modes = vec![top_mode; intervals.len()];
+        Partition { intervals, modes }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Latency under a period bound (Theorem 15)
+// ---------------------------------------------------------------------------
+
+/// Result of the latency-under-period DP.
+#[derive(Debug, Clone)]
+pub struct LatencyTable {
+    /// `best[q-1]` = minimum latency with at most `q` intervals whose
+    /// cycle-times all respect the period bound; `+∞` when infeasible.
+    pub best: Vec<f64>,
+    n: usize,
+    exact: Vec<Vec<f64>>,
+    parent: Vec<Vec<usize>>,
+}
+
+/// Minimum latency of `app` with at most `q ∈ {1..qmax}` intervals subject
+/// to every interval's cycle-time ≤ `t_bound` (the paper's `(L, T)(i, q)`
+/// recurrence, Theorem 15). Runs at the top speed. `O(n²·qmax)`.
+pub fn latency_under_period(ctx: &HomCtx<'_>, t_bound: f64, qmax: usize) -> LatencyTable {
+    let n = ctx.app.n();
+    let s = ctx.max_speed();
+    let kcap = qmax.min(n).max(1);
+    let inf = f64::INFINITY;
+    let mut exact = vec![vec![inf; n + 1]; kcap + 1];
+    let mut parent = vec![vec![usize::MAX; n + 1]; kcap + 1];
+    let input_edge = ctx.app.input_of(0) / ctx.bandwidth;
+    for i in 1..=n {
+        if num::le(ctx.cycle(0, i - 1, s), t_bound) {
+            exact[1][i] = input_edge + ctx.latency_term(0, i - 1, s);
+            parent[1][i] = 0;
+        }
+    }
+    for k in 2..=kcap {
+        for i in k..=n {
+            let mut best = inf;
+            let mut arg = usize::MAX;
+            for j in (k - 1)..i {
+                if exact[k - 1][j].is_finite() && num::le(ctx.cycle(j, i - 1, s), t_bound) {
+                    let cand = exact[k - 1][j] + ctx.latency_term(j, i - 1, s);
+                    if cand < best {
+                        best = cand;
+                        arg = j;
+                    }
+                }
+            }
+            exact[k][i] = best;
+            parent[k][i] = arg;
+        }
+    }
+    let mut best = Vec::with_capacity(qmax);
+    let mut acc = inf;
+    for q in 1..=qmax {
+        let k = q.min(kcap);
+        acc = num::fmin(acc, exact[k][n]);
+        best.push(acc);
+    }
+    LatencyTable { best, n, exact, parent }
+}
+
+impl LatencyTable {
+    /// Reconstruct a partition achieving `best[q-1]`; `None` if infeasible.
+    pub fn partition(&self, q: usize, top_mode: usize) -> Option<Partition> {
+        let target = self.best[q - 1];
+        if !target.is_finite() {
+            return None;
+        }
+        let kcap = self.exact.len() - 1;
+        let k = (1..=q.min(kcap))
+            .find(|&k| num::le(self.exact[k][self.n], target))
+            .expect("latency table is consistent");
+        let mut intervals = Vec::with_capacity(k);
+        let mut i = self.n;
+        let mut kk = k;
+        while kk > 0 {
+            let j = self.parent[kk][i];
+            intervals.push((j, i - 1));
+            i = j;
+            kk -= 1;
+        }
+        intervals.reverse();
+        let modes = vec![top_mode; intervals.len()];
+        Some(Partition { intervals, modes })
+    }
+}
+
+/// Minimum period achievable with at most `q` intervals subject to a
+/// latency bound, via binary search over the candidate-period set plus the
+/// Theorem 15 DP as feasibility probe. Returns `(period, partition)`.
+pub fn min_period_under_latency(
+    ctx: &HomCtx<'_>,
+    l_bound: f64,
+    q: usize,
+) -> Option<(f64, Partition)> {
+    let candidates = ctx.period_candidates();
+    // Feasible(T) := best latency under period T ≤ l_bound. Monotone in T.
+    let feasible = |t: f64| -> bool {
+        let l = latency_under_period(ctx, t, q).best[q - 1];
+        l.is_finite() && num::le(l, l_bound)
+    };
+    let mut lo = 0usize;
+    let mut hi = candidates.len();
+    // Invariant: all indices < lo infeasible; find first feasible.
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        if feasible(candidates[mid]) {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    if lo == candidates.len() {
+        return None;
+    }
+    let t = candidates[lo];
+    let table = latency_under_period(ctx, t, q);
+    let top = ctx.speeds.len() - 1;
+    let partition = table.partition(q, top)?;
+    Some((t, partition))
+}
+
+// ---------------------------------------------------------------------------
+// Energy under a period bound (Theorem 18)
+// ---------------------------------------------------------------------------
+
+/// Result of the energy-under-period DP.
+#[derive(Debug, Clone)]
+pub struct EnergyTable {
+    /// `exact_k[k-1]` = minimum energy with **exactly** `k` intervals
+    /// (`+∞` when infeasible). Needed by the Theorem 21 multi-application
+    /// convolution.
+    pub exact_k: Vec<f64>,
+    /// Minimum over all `k ≤ qmax`.
+    pub best: f64,
+    n: usize,
+    parent: Vec<Vec<usize>>,
+    mode_of: Vec<Vec<usize>>,
+}
+
+/// Minimum energy of `app` subject to every interval cycle-time ≤ `t_bound`
+/// (Theorem 18 DP). Each interval independently selects its cheapest
+/// feasible mode. `O(n²·(qmax + modes))`.
+pub fn energy_under_period(ctx: &HomCtx<'_>, t_bound: f64, qmax: usize) -> EnergyTable {
+    let n = ctx.app.n();
+    let kcap = qmax.min(n).max(1);
+    let inf = f64::INFINITY;
+    // cost1[j][i-1]: cheapest single-processor energy for stages j..=i-1,
+    // and the corresponding mode.
+    let mut cost1 = vec![vec![inf; n]; n];
+    let mut mode1 = vec![vec![usize::MAX; n]; n];
+    for lo in 0..n {
+        for hi in lo..n {
+            if let Some((m, e)) = ctx.cheapest_feasible_mode(lo, hi, t_bound) {
+                cost1[lo][hi] = e;
+                mode1[lo][hi] = m;
+            }
+        }
+    }
+    let mut exact = vec![vec![inf; n + 1]; kcap + 1];
+    let mut parent = vec![vec![usize::MAX; n + 1]; kcap + 1];
+    let mut mode_of = vec![vec![usize::MAX; n + 1]; kcap + 1];
+    for i in 1..=n {
+        exact[1][i] = cost1[0][i - 1];
+        parent[1][i] = 0;
+        mode_of[1][i] = mode1[0][i - 1];
+    }
+    for k in 2..=kcap {
+        for i in k..=n {
+            let mut best = inf;
+            let mut arg = usize::MAX;
+            let mut bm = usize::MAX;
+            for j in (k - 1)..i {
+                if exact[k - 1][j].is_finite() && cost1[j][i - 1].is_finite() {
+                    let cand = exact[k - 1][j] + cost1[j][i - 1];
+                    if cand < best {
+                        best = cand;
+                        arg = j;
+                        bm = mode1[j][i - 1];
+                    }
+                }
+            }
+            exact[k][i] = best;
+            parent[k][i] = arg;
+            mode_of[k][i] = bm;
+        }
+    }
+    let exact_k: Vec<f64> = (1..=kcap).map(|k| exact[k][n]).collect();
+    let best = exact_k.iter().copied().fold(inf, num::fmin);
+    EnergyTable { exact_k, best, n, parent, mode_of }
+}
+
+impl EnergyTable {
+    /// Reconstruct the partition achieving `exact_k[k-1]`; `None` if `+∞`.
+    pub fn partition_exact(&self, k: usize) -> Option<Partition> {
+        if k == 0 || k > self.exact_k.len() || !self.exact_k[k - 1].is_finite() {
+            return None;
+        }
+        let mut intervals = Vec::with_capacity(k);
+        let mut modes = Vec::with_capacity(k);
+        let mut i = self.n;
+        let mut kk = k;
+        while kk > 0 {
+            let j = self.parent[kk][i];
+            intervals.push((j, i - 1));
+            modes.push(self.mode_of[kk][i]);
+            i = j;
+            kk -= 1;
+        }
+        intervals.reverse();
+        modes.reverse();
+        Some(Partition { intervals, modes })
+    }
+
+    /// Reconstruct the overall best partition; `None` if infeasible.
+    pub fn partition_best(&self) -> Option<Partition> {
+        let k = (1..=self.exact_k.len())
+            .filter(|&k| self.exact_k[k - 1].is_finite())
+            .min_by(|&a, &b| {
+                self.exact_k[a - 1].partial_cmp(&self.exact_k[b - 1]).expect("finite")
+            })?;
+        self.partition_exact(k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpo_model::application::Application;
+
+    fn app() -> Application {
+        // App2 of the Section 2 example.
+        Application::from_pairs(0.0, &[(2.0, 1.0), (6.0, 1.0), (4.0, 1.0), (2.0, 1.0)])
+    }
+
+    #[test]
+    fn period_table_single_proc() {
+        let a = app();
+        let speeds = [8.0];
+        let ctx = HomCtx::new(&a, &speeds, 1.0, CommModel::Overlap);
+        let t = period_table(&ctx, 1);
+        // One interval: max(0/1, 14/8, 1/1) = 1.75.
+        assert!((t.best[0] - 1.75).abs() < 1e-12);
+        let part = t.partition(1, 0);
+        assert_eq!(part.intervals, vec![(0, 3)]);
+    }
+
+    #[test]
+    fn period_table_improves_with_processors() {
+        let a = app();
+        let speeds = [8.0];
+        let ctx = HomCtx::new(&a, &speeds, 1.0, CommModel::Overlap);
+        let t = period_table(&ctx, 4);
+        // Non-increasing in q.
+        for w in t.best.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12);
+        }
+        // Two intervals split (0,1)/(2,3): max(8/8, 1) then max(1, 6/8, 1) = 1.
+        assert!((t.best[1] - 1.0).abs() < 1e-12);
+        let part = t.partition(2, 0);
+        assert_eq!(part.intervals.len(), 2);
+        assert_eq!(part.intervals[0].0, 0);
+        assert_eq!(part.intervals.last().unwrap().1, 3);
+    }
+
+    #[test]
+    fn period_table_no_overlap_is_worse() {
+        let a = app();
+        let speeds = [8.0];
+        let ov = HomCtx::new(&a, &speeds, 1.0, CommModel::Overlap);
+        let no = HomCtx::new(&a, &speeds, 1.0, CommModel::NoOverlap);
+        for q in 1..=4 {
+            let tov = period_table(&ov, q).best[q - 1];
+            let tno = period_table(&no, q).best[q - 1];
+            assert!(tov <= tno + 1e-12);
+        }
+    }
+
+    #[test]
+    fn latency_under_loose_period_is_single_interval() {
+        let a = app();
+        let speeds = [8.0];
+        let ctx = HomCtx::new(&a, &speeds, 1.0, CommModel::Overlap);
+        let t = latency_under_period(&ctx, 100.0, 4);
+        // Single interval minimizes latency: 0 + 14/8 + 1 = 2.75.
+        assert!((t.best[3] - 2.75).abs() < 1e-12);
+        let part = t.partition(4, 0).unwrap();
+        assert_eq!(part.intervals, vec![(0, 3)]);
+    }
+
+    #[test]
+    fn latency_under_tight_period_needs_splits() {
+        let a = app();
+        let speeds = [8.0];
+        let ctx = HomCtx::new(&a, &speeds, 1.0, CommModel::Overlap);
+        // Period bound 1 forces ≥ 2 intervals (14/8 > 1).
+        let t = latency_under_period(&ctx, 1.0, 4);
+        assert!(t.best[0].is_infinite());
+        assert!(t.best[1].is_finite());
+        // Split (0,1)/(2,3): latency 0 + 8/8 + 1/1 + 6/8 + 1/1 = 3.75.
+        assert!((t.best[1] - 3.75).abs() < 1e-12);
+        let part = t.partition(2, 0).unwrap();
+        assert_eq!(part.intervals, vec![(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn latency_table_infeasible_when_period_too_small() {
+        let a = app();
+        let speeds = [8.0];
+        let ctx = HomCtx::new(&a, &speeds, 1.0, CommModel::Overlap);
+        // Outgoing edge of stage 3 costs 1; period 0.5 unachievable.
+        let t = latency_under_period(&ctx, 0.5, 4);
+        assert!(t.best.iter().all(|l| l.is_infinite()));
+        assert!(t.partition(4, 0).is_none());
+    }
+
+    #[test]
+    fn dual_period_under_latency() {
+        let a = app();
+        let speeds = [8.0];
+        let ctx = HomCtx::new(&a, &speeds, 1.0, CommModel::Overlap);
+        // Unbounded latency: dual returns the unconstrained optimum period.
+        let (t, _) = min_period_under_latency(&ctx, f64::INFINITY, 4).unwrap();
+        let unconstrained = period_table(&ctx, 4).best[3];
+        assert!((t - unconstrained).abs() < 1e-12);
+        // Latency bound 2.75 forces the single interval: period 1.75.
+        let (t, part) = min_period_under_latency(&ctx, 2.75, 4).unwrap();
+        assert!((t - 1.75).abs() < 1e-12);
+        assert_eq!(part.intervals, vec![(0, 3)]);
+        // Impossible latency bound.
+        assert!(min_period_under_latency(&ctx, 0.1, 4).is_none());
+    }
+
+    #[test]
+    fn energy_picks_slowest_feasible_modes() {
+        let a = app();
+        let speeds = [1.0, 6.0, 8.0];
+        let ctx = HomCtx::new(&a, &speeds, 1.0, CommModel::Overlap);
+        // Period bound 14: one processor at speed 1 suffices (14/1 = 14).
+        let t = energy_under_period(&ctx, 14.0, 3);
+        assert!((t.exact_k[0] - 1.0).abs() < 1e-12);
+        assert!((t.best - 1.0).abs() < 1e-12);
+        let part = t.partition_best().unwrap();
+        assert_eq!(part.modes, vec![0]);
+        // Period bound 2: single proc needs speed ≥ 7 → mode 2 (64); two
+        // procs can run at 6 (36 + 36 = 72) or mixed; best single = 64.
+        let t = energy_under_period(&ctx, 2.0, 3);
+        assert!((t.exact_k[0] - 64.0).abs() < 1e-12);
+        assert!(t.best <= 64.0);
+    }
+
+    #[test]
+    fn energy_exact_k_infeasible_marked() {
+        let a = app();
+        let speeds = [1.0];
+        let ctx = HomCtx::new(&a, &speeds, 1.0, CommModel::Overlap);
+        // Period 1 with speed 1: stage 1 alone costs 2/1 = 2 > 1 → infeasible
+        // at any k.
+        let t = energy_under_period(&ctx, 1.0, 4);
+        assert!(t.exact_k.iter().all(|e| e.is_infinite()));
+        assert!(t.partition_best().is_none());
+        assert!(t.partition_exact(2).is_none());
+    }
+
+    #[test]
+    fn energy_static_cost_discourages_splitting() {
+        let a = app();
+        let speeds = [1.0, 2.0, 4.0];
+        let mut ctx = HomCtx::new(&a, &speeds, 1.0, CommModel::Overlap);
+        ctx.e_stat = 100.0;
+        let with_static = energy_under_period(&ctx, 4.0, 4);
+        // Splitting pays +100 per extra processor; best should use 1 proc.
+        let best_k = (1..=4)
+            .min_by(|&x, &y| {
+                with_static.exact_k[x - 1]
+                    .partial_cmp(&with_static.exact_k[y - 1])
+                    .unwrap()
+            })
+            .unwrap();
+        assert_eq!(best_k, 1);
+    }
+
+    #[test]
+    fn candidate_set_contains_optimum() {
+        let a = app();
+        let speeds = [2.0, 8.0];
+        let ctx = HomCtx::new(&a, &speeds, 1.0, CommModel::NoOverlap);
+        let cands = ctx.period_candidates();
+        for q in 1..=3 {
+            let t = period_table(&ctx, q).best[q - 1];
+            assert!(
+                cands.iter().any(|c| (c - t).abs() < 1e-9),
+                "optimum {t} missing from candidates"
+            );
+        }
+    }
+
+    #[test]
+    fn partitions_cover_the_chain() {
+        let a = app();
+        let speeds = [1.0, 8.0];
+        let ctx = HomCtx::new(&a, &speeds, 1.0, CommModel::Overlap);
+        for q in 1..=4 {
+            let t = period_table(&ctx, q);
+            let part = t.partition(q, 1);
+            assert_eq!(part.intervals[0].0, 0);
+            assert_eq!(part.intervals.last().unwrap().1, a.n() - 1);
+            for w in part.intervals.windows(2) {
+                assert_eq!(w[1].0, w[0].1 + 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Fairness objectives: computing the Eq. (6) weights.
+//!
+//! Eq. (6) of the paper lets `W_a` be "1 (we retrieve a simple maximum) or
+//! a priority ratio (fixed by the platform manager and/or paid by the
+//! user). We can also let `W_a = 1/X_a*`, where `X_a*` is the objective
+//! function computed when the application is executed alone on the
+//! platform; in this case `W_a·X_a` represents the slowdown factor of
+//! application `a`, and `X` corresponds to the maximum stretch."
+//!
+//! This module computes the reference values `X_a*` (per-application
+//! optima alone on the platform) and packages them into
+//! [`cpo_model::objective::Aggregation::Stretch`] weights — plus the
+//! Theorem 7-style scaling helpers used by the stretch variants of the
+//! NP-hardness results.
+
+use crate::mono::latency::min_latency_interval_comm_hom;
+use crate::mono::period_interval::minimize_global_period;
+use cpo_model::prelude::*;
+
+/// Per-application reference periods `T_a*`: each application alone on the
+/// platform, interval mapping, weight forced to 1.
+///
+/// Polynomial on fully homogeneous platforms (Theorem 3 with `A = 1`);
+/// returns `None` when any reference is unsolvable there (wrong platform
+/// class — fall back to [`reference_periods_exact`] on small instances).
+pub fn reference_periods(
+    apps: &AppSet,
+    platform: &Platform,
+    model: CommModel,
+) -> Option<Vec<f64>> {
+    apps.apps
+        .iter()
+        .map(|app| {
+            let mut solo_app = app.clone();
+            solo_app.weight = 1.0;
+            let solo = AppSet::single(solo_app);
+            minimize_global_period(&solo, platform, model).map(|s| s.objective)
+        })
+        .collect()
+}
+
+/// Exhaustive fallback for [`reference_periods`] on platforms where the
+/// polynomial solver does not apply (small instances only).
+pub fn reference_periods_exact(
+    apps: &AppSet,
+    platform: &Platform,
+    model: CommModel,
+) -> Option<Vec<f64>> {
+    apps.apps
+        .iter()
+        .map(|app| {
+            let mut solo_app = app.clone();
+            solo_app.weight = 1.0;
+            let solo = AppSet::single(solo_app);
+            crate::exact::exact_optimize(
+                &solo,
+                platform,
+                crate::exact::ExactConfig {
+                    kind: crate::MappingKind::Interval,
+                    model,
+                    speed: crate::exact::SpeedPolicy::MaxOnly,
+                },
+                crate::Criterion::Period,
+                &Thresholds::none(),
+            )
+            .map(|s| s.objective)
+        })
+        .collect()
+}
+
+/// Per-application reference latencies `L_a*` on communication homogeneous
+/// platforms (Theorem 12 with `A = 1`: whole chain on the fastest
+/// processor).
+pub fn reference_latencies(apps: &AppSet, platform: &Platform) -> Option<Vec<f64>> {
+    apps.apps
+        .iter()
+        .map(|app| {
+            let mut solo_app = app.clone();
+            solo_app.weight = 1.0;
+            let solo = AppSet::single(solo_app);
+            min_latency_interval_comm_hom(&solo, platform).map(|s| s.objective)
+        })
+        .collect()
+}
+
+/// Install max-stretch weights (`W_a = 1/T_a*`) into the application set;
+/// returns the references used. After this, any period solver minimizes the
+/// maximum period-stretch.
+pub fn apply_period_stretch_weights(
+    apps: &mut AppSet,
+    platform: &Platform,
+    model: CommModel,
+) -> Option<Vec<f64>> {
+    let refs = reference_periods(apps, platform, model)
+        .or_else(|| reference_periods_exact(apps, platform, model))?;
+    Aggregation::Stretch(refs.clone()).apply(apps);
+    Some(refs)
+}
+
+/// The Theorem 6 scaling trick, reusable: scaling every work of
+/// application `a` by `W_a` turns a weighted-period instance into an
+/// unweighted one (`W_a·T_a(w) = T_a(W_a·w)` when communications are
+/// scaled likewise). Returns the scaled application set with unit weights.
+pub fn scale_out_weights(apps: &AppSet) -> AppSet {
+    let scaled = apps
+        .apps
+        .iter()
+        .map(|app| {
+            let w = app.weight;
+            let stages = app
+                .stages
+                .iter()
+                .map(|st| cpo_model::application::Stage::new(st.work * w, st.output * w))
+                .collect();
+            cpo_model::application::Application::named(
+                app.name.clone(),
+                app.input * w,
+                stages,
+                1.0,
+            )
+            .expect("scaling preserves validity")
+        })
+        .collect();
+    AppSet::new(scaled).expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpo_model::application::Application;
+
+    fn apps() -> AppSet {
+        AppSet::new(vec![
+            Application::from_pairs(0.0, &[(4.0, 0.0), (4.0, 0.0)]),
+            Application::from_pairs(0.0, &[(12.0, 0.0)]),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn references_are_solo_optima() {
+        let apps = apps();
+        let pf = Platform::fully_homogeneous(4, vec![2.0], 1.0).unwrap();
+        let refs = reference_periods(&apps, &pf, CommModel::Overlap).unwrap();
+        // App0 alone on 4 procs: [4|4] → 2; app1 monolithic: 6.
+        assert_eq!(refs, vec![2.0, 6.0]);
+        let exact = reference_periods_exact(&apps, &pf, CommModel::Overlap).unwrap();
+        assert_eq!(refs, exact);
+    }
+
+    #[test]
+    fn stretch_weights_balance_slowdowns() {
+        let mut apps = apps();
+        let pf = Platform::fully_homogeneous(3, vec![2.0], 1.0).unwrap();
+        let refs =
+            apply_period_stretch_weights(&mut apps, &pf, CommModel::Overlap).unwrap();
+        assert_eq!(apps.apps[0].weight, 1.0 / refs[0]);
+        let sol = minimize_global_period(&apps, &pf, CommModel::Overlap).unwrap();
+        // The objective is now the max stretch; with 3 processors both apps
+        // can achieve their solo optimum except app0 loses one processor:
+        // app0 on 2 procs → 2 (stretch 1 vs ref 2 on 3 procs? alone on 3
+        // procs app0 still gets 2 (only 2 stages)); app1 → 6, stretch 1.
+        assert!((sol.objective - 1.0).abs() < 1e-9, "both tenants unharmed: {}", sol.objective);
+    }
+
+    #[test]
+    fn reference_latencies_on_comm_hom() {
+        let apps = apps();
+        let pf = Platform::comm_homogeneous(
+            vec![
+                cpo_model::platform::Processor::uni_modal(1.0).unwrap(),
+                cpo_model::platform::Processor::uni_modal(4.0).unwrap(),
+            ],
+            1.0,
+        )
+        .unwrap();
+        let refs = reference_latencies(&apps, &pf).unwrap();
+        // Alone, each app takes the fastest processor (speed 4).
+        assert_eq!(refs, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn theorem6_scaling_preserves_weighted_period() {
+        // W_a·T_a(original) == T_a(scaled) for whole-chain mappings.
+        let mut apps = apps();
+        apps.apps[0].weight = 3.0;
+        apps.apps[1].weight = 0.5;
+        let scaled = scale_out_weights(&apps);
+        assert_eq!(scaled.apps[0].weight, 1.0);
+        let pf = Platform::fully_homogeneous(2, vec![2.0], 1.0).unwrap();
+        let ev_orig = Evaluator::new(&apps, &pf);
+        let ev_scaled = Evaluator::new(&scaled, &pf);
+        let m = Mapping::new()
+            .with(Interval::new(0, 0, 1), 0, 0)
+            .with(Interval::new(1, 0, 0), 1, 0);
+        for model in CommModel::ALL {
+            let weighted = ev_orig.period(&m, model);
+            let unweighted_scaled = ev_scaled.period(&m, model);
+            assert!(
+                (weighted - unweighted_scaled).abs() < 1e-9,
+                "{model:?}: {weighted} vs {unweighted_scaled}"
+            );
+        }
+    }
+
+    #[test]
+    fn scaling_is_involution_up_to_weight() {
+        let mut apps = apps();
+        apps.apps[0].weight = 2.0;
+        let scaled = scale_out_weights(&apps);
+        // Scaling again with unit weights is the identity.
+        let twice = scale_out_weights(&scaled);
+        assert_eq!(scaled, twice);
+    }
+}

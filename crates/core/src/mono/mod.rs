@@ -1,0 +1,25 @@
+//! Mono-criterion solvers (Section 4 of the paper): period or latency
+//! minimization. Energy is never a criterion on its own (Section 3.5), so
+//! these solvers run every enrolled processor at its highest mode.
+
+pub mod latency;
+pub mod period_interval;
+pub mod period_one_to_one;
+
+use cpo_model::platform::{Links, Platform};
+
+/// Bandwidth seen by application `app` on a link-homogeneous platform
+/// (uniform or per-application links). `None` on fully heterogeneous links.
+pub(crate) fn app_bandwidth(platform: &Platform, app: usize) -> Option<f64> {
+    match &platform.links {
+        Links::Uniform(b) => Some(*b),
+        Links::PerApp(bs) => bs.get(app).copied(),
+        Links::Heterogeneous { .. } => None,
+    }
+}
+
+/// Check the platform qualifies as communication homogeneous for the
+/// Theorem 1 / 12 greedy algorithms (uniform or per-application links).
+pub(crate) fn links_are_homogeneous(platform: &Platform) -> bool {
+    !matches!(platform.links, Links::Heterogeneous { .. })
+}

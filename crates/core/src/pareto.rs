@@ -1,0 +1,150 @@
+//! Period/energy trade-off fronts.
+//!
+//! The paper motivates its threshold approach with the "laptop" and
+//! "server" questions; sweeping the threshold yields the full Pareto
+//! front of the bi-criteria period/energy problem. The sweep runs the
+//! polynomial solvers of Theorems 18/19/21 on every candidate period (a
+//! finite set) and discards dominated points.
+
+use crate::bi::period_energy::{min_energy_interval_fully_hom, min_energy_one_to_one_matching};
+use crate::solution::{MappingKind, Solution};
+use cpo_model::num;
+use cpo_model::prelude::*;
+
+/// One point of a period/energy front.
+#[derive(Debug, Clone)]
+pub struct ParetoPoint {
+    /// Global weighted period threshold achieved.
+    pub period: f64,
+    /// Minimum energy at that period.
+    pub energy: f64,
+    /// A mapping realizing the point.
+    pub solution: Solution,
+}
+
+/// Candidate *global weighted* period values: all `W_a ×` interval (or
+/// stage) cycle-times at every available speed.
+fn period_candidates(
+    apps: &AppSet,
+    platform: &Platform,
+    model: CommModel,
+    kind: MappingKind,
+) -> Vec<f64> {
+    let mut out = Vec::new();
+    for (a, app) in apps.apps.iter().enumerate() {
+        for u in 0..platform.p() {
+            let b_in = platform.bw_input(a, u);
+            let b_out = platform.bw_output(a, u);
+            let b_int = platform.bw_inter(a, u, (u + 1) % platform.p());
+            for lo in 0..app.n() {
+                let hi_range = match kind {
+                    MappingKind::OneToOne => lo..=lo,
+                    MappingKind::Interval => lo..=(app.n() - 1),
+                };
+                for hi in hi_range {
+                    let din = app.input_of(lo) / if lo == 0 { b_in } else { b_int };
+                    let dout = app.output_of(hi) / if hi == app.n() - 1 { b_out } else { b_int };
+                    for &s in platform.procs[u].speeds() {
+                        out.push(
+                            app.weight
+                                * model.combine(din, app.interval_work(lo, hi) / s, dout),
+                        );
+                    }
+                }
+            }
+        }
+    }
+    num::sorted_candidates(out)
+}
+
+/// Sweep the period/energy Pareto front with the polynomial solvers:
+/// interval mappings use the Theorem 18/21 dynamic program (fully
+/// homogeneous platforms), one-to-one mappings use the Theorem 19 matching
+/// (communication homogeneous platforms). Returns the non-dominated points
+/// sorted by increasing period.
+pub fn period_energy_front(
+    apps: &AppSet,
+    platform: &Platform,
+    model: CommModel,
+    kind: MappingKind,
+) -> Vec<ParetoPoint> {
+    let candidates = period_candidates(apps, platform, model, kind);
+    let mut points: Vec<ParetoPoint> = Vec::new();
+    for t in candidates {
+        // Per-application bound: global weighted period ≤ t means
+        // T_a ≤ t / W_a.
+        let bounds: Vec<f64> = apps.apps.iter().map(|a| t / a.weight).collect();
+        let sol = match kind {
+            MappingKind::Interval => min_energy_interval_fully_hom(apps, platform, model, &bounds),
+            MappingKind::OneToOne => {
+                min_energy_one_to_one_matching(apps, platform, model, &bounds)
+            }
+        };
+        if let Some(sol) = sol {
+            let achieved_t = Evaluator::new(apps, platform).period(&sol.mapping, model);
+            let energy = sol.objective;
+            // Dominance filter: keep only strictly improving energy as the
+            // period loosens.
+            if points.last().is_none_or(|last| num::lt(energy, last.energy)) {
+                points.push(ParetoPoint { period: achieved_t, energy, solution: sol });
+            }
+        }
+    }
+    points
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpo_model::generator::section2_example;
+
+    #[test]
+    fn front_is_monotone_and_anchored() {
+        // Homogenized Section 2 platform so the interval DP applies.
+        let (apps, _) = section2_example();
+        let pf = Platform::fully_homogeneous(3, vec![1.0, 3.0, 6.0, 8.0], 1.0).unwrap();
+        let front = period_energy_front(&apps, &pf, CommModel::Overlap, MappingKind::Interval);
+        assert!(!front.is_empty());
+        for w in front.windows(2) {
+            assert!(w[0].period <= w[1].period + 1e-9, "periods ascending");
+            assert!(w[0].energy > w[1].energy - 1e-9, "energy descending");
+        }
+        // The loosest point is the global minimum energy: both apps on one
+        // processor each at speed 1 → 1 + 1 = 2.
+        let last = front.last().unwrap();
+        assert!((last.energy - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_to_one_front_works_on_comm_hom() {
+        let (apps, pf) = section2_example();
+        // Section 2 has 7 stages and 3 processors: extend to 7 procs.
+        let mut procs = pf.procs.clone();
+        for _ in 0..4 {
+            procs.push(cpo_model::platform::Processor::new(vec![2.0, 5.0]).unwrap());
+        }
+        let pf = Platform::comm_homogeneous(procs, 1.0).unwrap();
+        let front = period_energy_front(&apps, &pf, CommModel::Overlap, MappingKind::OneToOne);
+        assert!(!front.is_empty());
+        for w in front.windows(2) {
+            assert!(w[0].energy > w[1].energy - 1e-9);
+        }
+        // Every point's mapping is valid and one-to-one.
+        for pt in &front {
+            pt.solution.mapping.validate(&apps, &pf).unwrap();
+            assert!(pt.solution.mapping.is_one_to_one());
+        }
+    }
+
+    #[test]
+    fn achieved_period_never_exceeds_threshold_point() {
+        let (apps, _) = section2_example();
+        let pf = Platform::fully_homogeneous(3, vec![1.0, 3.0, 6.0], 1.0).unwrap();
+        let front = period_energy_front(&apps, &pf, CommModel::Overlap, MappingKind::Interval);
+        let ev = Evaluator::new(&apps, &pf);
+        for pt in &front {
+            let t = ev.period(&pt.solution.mapping, CommModel::Overlap);
+            assert!((t - pt.period).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Solvers for **general mappings** with processor sharing (Section 3.3 /
+//! Section 6 future work).
+//!
+//! The paper proves that allowing processor re-use makes even
+//! single-application period minimization NP-hard (reduction from
+//! 2-PARTITION, no communication, homogeneous uni-modal processors). This
+//! module provides:
+//!
+//! * [`exact_min_period_general`] — exhaustive search over general
+//!   mappings (tiny instances; certifies the gadget and measures the true
+//!   benefit of sharing);
+//! * [`lpt_general_period`] — the classical Longest-Processing-Time list
+//!   heuristic adapted to chains: intervals are packed onto the
+//!   least-loaded processor (polynomial, the practical answer);
+//! * [`sharing_gain`] — quantifies how much the no-sharing restriction of
+//!   the paper costs on random instances (the "impact of processor
+//!   sharing" experiment).
+
+use cpo_model::num;
+use cpo_model::prelude::*;
+use cpo_model::sharing::{GeneralEvaluator, GeneralMapping};
+
+/// Exhaustive minimum-period general mapping (top modes only — period
+/// minimization never benefits from slower speeds). Enumerate per-app
+/// interval partitions and arbitrary processor choices (sharing allowed),
+/// with symmetry breaking: a new interval may use any *already-used*
+/// processor or the single lowest-indexed fresh one (valid on platforms
+/// with interchangeable processors, which we require).
+pub fn exact_min_period_general(
+    apps: &AppSet,
+    platform: &Platform,
+    model: CommModel,
+) -> Option<(GeneralMapping, f64)> {
+    if platform.class() != PlatformClass::FullyHomogeneous {
+        return None;
+    }
+    struct Dfs<'a> {
+        apps: &'a AppSet,
+        platform: &'a Platform,
+        model: CommModel,
+        mapping: GeneralMapping,
+        used: Vec<bool>,
+        best: Option<(GeneralMapping, f64)>,
+    }
+    impl Dfs<'_> {
+        fn rec(&mut self, a: usize, first: usize) {
+            if a == self.apps.a() {
+                let ev = GeneralEvaluator::new(self.apps, self.platform);
+                let t = ev.period(&self.mapping, self.model);
+                if self.best.as_ref().is_none_or(|(_, bt)| num::lt(t, *bt)) {
+                    self.best = Some((self.mapping.clone(), t));
+                }
+                return;
+            }
+            let n = self.apps.apps[a].n();
+            if first == n {
+                self.rec(a + 1, 0);
+                return;
+            }
+            for last in first..n {
+                let mut tried_fresh = false;
+                for u in 0..self.platform.p() {
+                    if !self.used[u] {
+                        if tried_fresh {
+                            continue; // symmetry: one fresh processor suffices
+                        }
+                        tried_fresh = true;
+                    }
+                    let was_used = self.used[u];
+                    let top = self.platform.procs[u].modes() - 1;
+                    self.used[u] = true;
+                    self.mapping.push(Interval::new(a, first, last), u, top);
+                    self.rec(a, last + 1);
+                    self.mapping.assignments.pop();
+                    self.used[u] = was_used;
+                }
+            }
+        }
+    }
+    let mut dfs = Dfs {
+        apps,
+        platform,
+        model,
+        mapping: GeneralMapping::new(),
+        used: vec![false; platform.p()],
+        best: None,
+    };
+    dfs.rec(0, 0);
+    dfs.best
+}
+
+/// LPT-style polynomial heuristic for general mappings: cut every chain
+/// into singleton intervals, sort by compute demand descending, place each
+/// on the processor with the smallest current load (all at top mode).
+/// With communication-free instances this is Graham's LPT with its 4/3
+/// guarantee per processor load; with communications it remains a sensible
+/// packing heuristic.
+pub fn lpt_general_period(
+    apps: &AppSet,
+    platform: &Platform,
+    model: CommModel,
+) -> Option<(GeneralMapping, f64)> {
+    if platform.p() == 0 {
+        return None;
+    }
+    // Singleton intervals sorted by work, heaviest first.
+    let mut items: Vec<(usize, usize, f64)> = apps
+        .stage_indices()
+        .map(|(a, k)| (a, k, apps.apps[a].stages[k].work))
+        .collect();
+    items.sort_by(|x, y| y.2.partial_cmp(&x.2).expect("finite work"));
+
+    let mut load = vec![0.0f64; platform.p()];
+    let mut mapping = GeneralMapping::new();
+    for (a, k, w) in items {
+        let u = (0..platform.p())
+            .min_by(|&x, &y| load[x].partial_cmp(&load[y]).expect("finite load"))
+            .expect("p > 0");
+        let top = platform.procs[u].modes() - 1;
+        load[u] += w / platform.procs[u].speed(top);
+        mapping.push(Interval::new(a, k, k), u, top);
+    }
+    let t = GeneralEvaluator::new(apps, platform).period(&mapping, model);
+    Some((mapping, t))
+}
+
+/// Compare the best *interval* mapping (no sharing — the paper's rule)
+/// against the best *general* mapping on the same instance. Returns
+/// `(interval period, general period)`; the ratio quantifies the price of
+/// the no-sharing restriction.
+pub fn sharing_gain(
+    apps: &AppSet,
+    platform: &Platform,
+    model: CommModel,
+) -> Option<(f64, f64)> {
+    let interval = crate::exact::exact_optimize(
+        apps,
+        platform,
+        crate::exact::ExactConfig {
+            kind: crate::MappingKind::Interval,
+            model,
+            speed: crate::exact::SpeedPolicy::MaxOnly,
+        },
+        crate::Criterion::Period,
+        &Thresholds::none(),
+    );
+    let general = exact_min_period_general(apps, platform, model);
+    match (interval, general) {
+        (Some(i), Some((_, g))) => Some((i.objective, g)),
+        (None, Some((_, g))) => Some((f64::INFINITY, g)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpo_model::application::Application;
+    use cpo_model::gadgets::TwoPartition;
+    use cpo_model::generator::{random_apps, AppGenConfig};
+    use cpo_model::sharing::{sharing_gadget_encode, sharing_gadget_mapping};
+
+    #[test]
+    fn sharing_gadget_certified_both_ways() {
+        // YES instance: the exact general solver reaches exactly S/2.
+        let yes = TwoPartition { items: vec![3, 1, 1, 2, 2, 1] };
+        assert!(yes.solve().is_some());
+        let g = sharing_gadget_encode(&yes);
+        let (_, t) =
+            exact_min_period_general(&g.apps, &g.platform, CommModel::Overlap).unwrap();
+        assert!((t - g.target_period).abs() < 1e-9);
+        // And the certificate-induced mapping achieves it too.
+        let m = sharing_gadget_mapping(&yes.solve().unwrap());
+        let ev = GeneralEvaluator::new(&g.apps, &g.platform);
+        assert!((ev.period(&m, CommModel::Overlap) - g.target_period).abs() < 1e-9);
+
+        // NO instance: the optimum stays strictly above S/2.
+        let no = TwoPartition { items: vec![1, 2, 4] };
+        assert!(no.solve().is_none());
+        let g = sharing_gadget_encode(&no);
+        let (_, t) =
+            exact_min_period_general(&g.apps, &g.platform, CommModel::Overlap).unwrap();
+        assert!(t > g.target_period + 1e-9, "NO instance reached {t}");
+    }
+
+    #[test]
+    fn sharing_never_worse_than_intervals() {
+        let cfg = AppGenConfig { apps: 2, stages: (1, 3), ..Default::default() };
+        for seed in 0..30 {
+            let apps = random_apps(&cfg, seed);
+            let pf = Platform::fully_homogeneous(3, vec![2.0], 1.0).unwrap();
+            if let Some((ti, tg)) = sharing_gain(&apps, &pf, CommModel::Overlap) {
+                assert!(
+                    tg <= ti + 1e-9,
+                    "seed {seed}: general {tg} worse than interval {ti}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharing_helps_when_processors_are_scarce() {
+        // Three 1-stage applications on two processors: interval mappings
+        // are infeasible (no sharing, p < A), general mappings work.
+        let apps = AppSet::new(vec![
+            Application::from_pairs(0.0, &[(2.0, 0.0)]),
+            Application::from_pairs(0.0, &[(2.0, 0.0)]),
+            Application::from_pairs(0.0, &[(2.0, 0.0)]),
+        ])
+        .unwrap();
+        let pf = Platform::fully_homogeneous(2, vec![1.0], 1.0).unwrap();
+        let (ti, tg) = sharing_gain(&apps, &pf, CommModel::Overlap).unwrap();
+        assert!(ti.is_infinite());
+        assert!((tg - 4.0).abs() < 1e-9); // loads 4 + 2
+    }
+
+    #[test]
+    fn lpt_is_valid_and_not_better_than_exact() {
+        let cfg = AppGenConfig { apps: 2, stages: (1, 3), ..Default::default() };
+        for seed in 0..30 {
+            let mut apps = random_apps(&cfg, seed);
+            // Strip communications so LPT's load model matches the
+            // evaluator's dominant term.
+            for app in &mut apps.apps {
+                let stages: Vec<_> = app
+                    .stages
+                    .iter()
+                    .map(|st| cpo_model::application::Stage::new(st.work, 0.0))
+                    .collect();
+                *app = Application::new(0.0, stages, 1.0).unwrap();
+            }
+            let pf = Platform::fully_homogeneous(3, vec![2.0], 1.0).unwrap();
+            let (m, t_lpt) = lpt_general_period(&apps, &pf, CommModel::Overlap).unwrap();
+            m.validate(&apps, &pf).unwrap();
+            let (_, t_opt) =
+                exact_min_period_general(&apps, &pf, CommModel::Overlap).unwrap();
+            assert!(t_lpt >= t_opt - 1e-9, "seed {seed}");
+            // Graham bound for makespan-style packing: LPT ≤ 4/3 OPT + ε
+            // (loads only; communications are zero here).
+            assert!(
+                t_lpt <= t_opt * (4.0 / 3.0) + 1e-6,
+                "seed {seed}: LPT {t_lpt} vs OPT {t_opt}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_general_handles_single_app_like_partitioning() {
+        // Sanity: with one app and enough processors, general = interval
+        // optimum (sharing cannot help when processors are abundant and
+        // communications are free).
+        let apps = AppSet::single(Application::from_pairs(0.0, &[(4.0, 0.0), (4.0, 0.0)]));
+        let pf = Platform::fully_homogeneous(2, vec![2.0], 1.0).unwrap();
+        let (ti, tg) = sharing_gain(&apps, &pf, CommModel::Overlap).unwrap();
+        assert!((ti - 2.0).abs() < 1e-9);
+        assert!((tg - 2.0).abs() < 1e-9);
+    }
+}

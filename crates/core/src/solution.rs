@@ -1,0 +1,89 @@
+//! Common solver vocabulary: solutions, criteria, mapping strategies.
+
+use cpo_model::prelude::*;
+
+/// Which mapping rule a solver targets (Section 3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MappingKind {
+    /// Each stage on a distinct processor.
+    OneToOne,
+    /// Each processor holds an interval of consecutive stages.
+    Interval,
+}
+
+/// Optimization criterion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Criterion {
+    /// Global weighted period `max_a W_a · T_a`.
+    Period,
+    /// Global weighted latency `max_a W_a · L_a`.
+    Latency,
+    /// Total energy of enrolled processors.
+    Energy,
+}
+
+/// A solver result: the mapping plus the achieved objective value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// The produced mapping (always structurally valid).
+    pub mapping: Mapping,
+    /// The optimized objective value.
+    pub objective: f64,
+}
+
+impl Solution {
+    /// Bundle a mapping with its objective value.
+    pub fn new(mapping: Mapping, objective: f64) -> Self {
+        Solution { mapping, objective }
+    }
+
+    /// Re-evaluate the solution's full profile.
+    pub fn evaluate(&self, apps: &AppSet, platform: &Platform, model: CommModel) -> Evaluation {
+        Evaluator::new(apps, platform).evaluate(&self.mapping, model)
+    }
+}
+
+/// Measure `criterion` of a mapping.
+pub fn measure(
+    criterion: Criterion,
+    mapping: &Mapping,
+    apps: &AppSet,
+    platform: &Platform,
+    model: CommModel,
+) -> f64 {
+    let ev = Evaluator::new(apps, platform);
+    match criterion {
+        Criterion::Period => ev.period(mapping, model),
+        Criterion::Latency => ev.latency(mapping),
+        Criterion::Energy => ev.energy(mapping),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpo_model::generator::section2_example;
+    use cpo_model::mapping::Interval;
+
+    #[test]
+    fn measure_dispatches() {
+        let (apps, pf) = section2_example();
+        let m = Mapping::new()
+            .with(Interval::new(0, 0, 2), 0, 1)
+            .with(Interval::new(1, 0, 3), 1, 1);
+        assert!((measure(Criterion::Latency, &m, &apps, &pf, CommModel::Overlap) - 2.75).abs() < 1e-9);
+        assert!((measure(Criterion::Energy, &m, &apps, &pf, CommModel::Overlap) - 100.0).abs() < 1e-9);
+        assert!(measure(Criterion::Period, &m, &apps, &pf, CommModel::Overlap) > 0.0);
+    }
+
+    #[test]
+    fn solution_evaluate_roundtrip() {
+        let (apps, pf) = section2_example();
+        let m = Mapping::new()
+            .with(Interval::new(0, 0, 2), 0, 1)
+            .with(Interval::new(1, 0, 3), 1, 1);
+        let sol = Solution::new(m, 2.75);
+        let ev = sol.evaluate(&apps, &pf, CommModel::Overlap);
+        assert!((ev.latency - sol.objective).abs() < 1e-9);
+    }
+}

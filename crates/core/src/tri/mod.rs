@@ -1,0 +1,12 @@
+//! Tri-criteria solvers (Section 5.3): period, latency and energy together.
+//!
+//! * [`unimodal`] — Theorems 23/24: with uni-modal processors on fully
+//!   homogeneous platforms the problem stays polynomial (an energy budget
+//!   just caps the processor count).
+//! * [`multimodal`] — Theorems 26/27 prove NP-hardness as soon as
+//!   processors have several modes, even for a single application without
+//!   communication; the exact branch-and-bound here handles small
+//!   instances and serves as the reference for the heuristics.
+
+pub mod multimodal;
+pub mod unimodal;

@@ -1,0 +1,169 @@
+//! Maximum-cardinality bipartite matching (Hopcroft–Karp).
+//!
+//! The paper cites Hopcroft–Karp for the Theorem 19 matching step; while
+//! the energy-minimization variant needs weights (see
+//! [`crate::hungarian`]), the pure cardinality algorithm answers
+//! *feasibility* questions — "can all `N` stages be placed at all under the
+//! period bounds?" — in O(E·√V).
+
+/// Compute a maximum matching of the bipartite graph with `n_left` left
+/// vertices and `n_right` right vertices, given as adjacency lists
+/// `adj[l] = right neighbours of l`.
+///
+/// Returns `match_left[l] = Some(r)` for matched pairs.
+pub fn max_bipartite_matching(n_left: usize, n_right: usize, adj: &[Vec<usize>]) -> Vec<Option<usize>> {
+    assert_eq!(adj.len(), n_left, "adjacency list length must equal n_left");
+    debug_assert!(adj.iter().flatten().all(|&r| r < n_right));
+
+    const NIL: usize = usize::MAX;
+    let mut match_l = vec![NIL; n_left];
+    let mut match_r = vec![NIL; n_right];
+    let mut dist = vec![0_u32; n_left];
+
+    loop {
+        // BFS phase: layer free left vertices.
+        let mut queue = std::collections::VecDeque::new();
+        let mut found_augmenting = false;
+        for l in 0..n_left {
+            if match_l[l] == NIL {
+                dist[l] = 0;
+                queue.push_back(l);
+            } else {
+                dist[l] = u32::MAX;
+            }
+        }
+        while let Some(l) = queue.pop_front() {
+            for &r in &adj[l] {
+                let next = match_r[r];
+                if next == NIL {
+                    found_augmenting = true;
+                } else if dist[next] == u32::MAX {
+                    dist[next] = dist[l] + 1;
+                    queue.push_back(next);
+                }
+            }
+        }
+        if !found_augmenting {
+            break;
+        }
+        // DFS phase: vertex-disjoint shortest augmenting paths.
+        for l in 0..n_left {
+            if match_l[l] == NIL {
+                dfs(l, adj, &mut match_l, &mut match_r, &mut dist);
+            }
+        }
+    }
+
+    match_l.into_iter().map(|r| if r == NIL { None } else { Some(r) }).collect()
+}
+
+fn dfs(
+    l: usize,
+    adj: &[Vec<usize>],
+    match_l: &mut [usize],
+    match_r: &mut [usize],
+    dist: &mut [u32],
+) -> bool {
+    const NIL: usize = usize::MAX;
+    for &r in &adj[l] {
+        let next = match_r[r];
+        if next == NIL || (dist[next] == dist[l] + 1 && dfs(next, adj, match_l, match_r, dist)) {
+            match_l[l] = r;
+            match_r[r] = l;
+            return true;
+        }
+    }
+    dist[l] = u32::MAX;
+    false
+}
+
+/// Size of the maximum matching (helper).
+pub fn max_matching_size(n_left: usize, n_right: usize, adj: &[Vec<usize>]) -> usize {
+    max_bipartite_matching(n_left, n_right, adj).iter().filter(|m| m.is_some()).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_matching_on_cycle() {
+        // 3 left, 3 right, C6 structure.
+        let adj = vec![vec![0, 1], vec![1, 2], vec![2, 0]];
+        let m = max_bipartite_matching(3, 3, &adj);
+        assert!(m.iter().all(|x| x.is_some()));
+        let mut rs: Vec<usize> = m.iter().map(|x| x.unwrap()).collect();
+        rs.sort_unstable();
+        assert_eq!(rs, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn bottleneck_limits_matching() {
+        // Both left vertices only reach right vertex 0.
+        let adj = vec![vec![0], vec![0]];
+        assert_eq!(max_matching_size(2, 2, &adj), 1);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let adj = vec![vec![], vec![]];
+        assert_eq!(max_matching_size(2, 3, &adj), 0);
+        assert_eq!(max_matching_size(0, 0, &[]), 0);
+    }
+
+    #[test]
+    fn rectangular_graph() {
+        let adj = vec![vec![0, 1, 2, 3, 4]];
+        assert_eq!(max_matching_size(1, 5, &adj), 1);
+    }
+
+    /// König-style sanity: matching size equals brute-force max on randoms.
+    #[test]
+    fn matches_brute_force() {
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let n = rng.gen_range(1..=6);
+            let m = rng.gen_range(1..=6);
+            let adj: Vec<Vec<usize>> = (0..n)
+                .map(|_| (0..m).filter(|_| rng.gen_bool(0.4)).collect())
+                .collect();
+            let fast = max_matching_size(n, m, &adj);
+            let slow = brute_force(n, m, &adj);
+            assert_eq!(fast, slow);
+        }
+    }
+
+    fn brute_force(n: usize, m: usize, adj: &[Vec<usize>]) -> usize {
+        fn rec(l: usize, n: usize, used: &mut Vec<bool>, adj: &[Vec<usize>]) -> usize {
+            if l == n {
+                return 0;
+            }
+            let mut best = rec(l + 1, n, used, adj); // leave l unmatched
+            for &r in &adj[l] {
+                if !used[r] {
+                    used[r] = true;
+                    best = best.max(1 + rec(l + 1, n, used, adj));
+                    used[r] = false;
+                }
+            }
+            best
+        }
+        rec(0, n, &mut vec![false; m], adj)
+    }
+
+    #[test]
+    fn matched_pairs_are_consistent() {
+        let adj = vec![vec![1, 2], vec![0], vec![0, 2]];
+        let m = max_bipartite_matching(3, 3, &adj);
+        // Every matched right vertex appears exactly once.
+        let mut seen = std::collections::HashSet::new();
+        for (l, r) in m.iter().enumerate() {
+            if let Some(r) = r {
+                assert!(adj[l].contains(r), "matched edge must exist");
+                assert!(seen.insert(*r));
+            }
+        }
+        assert_eq!(seen.len(), 3);
+    }
+}

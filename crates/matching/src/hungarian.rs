@@ -1,0 +1,263 @@
+//! Minimum-cost bipartite assignment (Hungarian algorithm).
+//!
+//! Implementation of the Kuhn–Munkres algorithm in its O(n²·m) potential /
+//! shortest-augmenting-path formulation, for **rectangular** problems with
+//! `n ≤ m` rows (every row must be assigned, columns may stay free) and
+//! `f64` costs where `f64::INFINITY` marks a forbidden edge.
+//!
+//! This is the exact primitive needed by the paper's Theorem 19: rows are
+//! pipeline stages, columns are processors, and the cost of edge `(k, u)` is
+//! the energy of the *slowest mode* of `P_u` that still meets stage `k`'s
+//! period bound (or `∞` when even the fastest mode is too slow).
+
+/// Result of a minimum-cost assignment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssignmentResult {
+    /// `row_to_col[r]` = column assigned to row `r`.
+    pub row_to_col: Vec<usize>,
+    /// Total cost of the assignment.
+    pub cost: f64,
+}
+
+/// Solve the rectangular min-cost assignment problem.
+///
+/// `cost[r][c]` is the cost of assigning row `r` to column `c`;
+/// `f64::INFINITY` forbids the edge. Requires `rows ≤ cols`. Returns `None`
+/// when no complete (all-rows) finite-cost assignment exists.
+///
+/// Runs in O(rows² · cols) time — polynomial, as Theorem 19 requires.
+pub fn hungarian_min_cost(cost: &[Vec<f64>]) -> Option<AssignmentResult> {
+    let n = cost.len();
+    if n == 0 {
+        return Some(AssignmentResult { row_to_col: vec![], cost: 0.0 });
+    }
+    let m = cost[0].len();
+    assert!(
+        cost.iter().all(|row| row.len() == m),
+        "cost matrix must be rectangular"
+    );
+    assert!(n <= m, "hungarian_min_cost requires rows <= cols");
+    debug_assert!(
+        cost.iter().flatten().all(|&c| c.is_infinite() || c.is_finite()),
+        "costs must be finite or +inf"
+    );
+
+    const INF: f64 = f64::INFINITY;
+    // 1-based arrays per the classic formulation; column 0 is a sentinel.
+    // p[c] = row matched to column c (0 = free), u/v = potentials.
+    let mut u = vec![0.0_f64; n + 1];
+    let mut v = vec![0.0_f64; m + 1];
+    let mut p = vec![0_usize; m + 1];
+    let mut way = vec![0_usize; m + 1];
+
+    for r in 1..=n {
+        p[0] = r;
+        let mut j0 = 0_usize;
+        let mut minv = vec![INF; m + 1];
+        let mut used = vec![false; m + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = INF;
+            let mut j1 = 0_usize;
+            for j in 1..=m {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            if !delta.is_finite() {
+                // No augmenting path with finite cost: the instance is
+                // infeasible (some row cannot be assigned).
+                return None;
+            }
+            for j in 0..=m {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the alternating path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut row_to_col = vec![usize::MAX; n];
+    for c in 1..=m {
+        if p[c] != 0 {
+            row_to_col[p[c] - 1] = c - 1;
+        }
+    }
+    // All rows must be matched on a finite edge.
+    let mut total = 0.0;
+    for (r, &c) in row_to_col.iter().enumerate() {
+        if c == usize::MAX {
+            return None;
+        }
+        let edge = cost[r][c];
+        if !edge.is_finite() {
+            return None;
+        }
+        total += edge;
+    }
+    Some(AssignmentResult { row_to_col, cost: total })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force minimum over all injective row→column maps.
+    fn brute_force(cost: &[Vec<f64>]) -> Option<f64> {
+        let n = cost.len();
+        let m = cost[0].len();
+        let mut cols: Vec<usize> = (0..m).collect();
+        let mut best: Option<f64> = None;
+        permute(&mut cols, 0, n, &mut |perm| {
+            let total: f64 = (0..n).map(|r| cost[r][perm[r]]).sum();
+            if total.is_finite() {
+                best = Some(match best {
+                    None => total,
+                    Some(b) => b.min(total),
+                });
+            }
+        });
+        best
+    }
+
+    fn permute(cols: &mut Vec<usize>, k: usize, n: usize, f: &mut impl FnMut(&[usize])) {
+        if k == n {
+            f(cols);
+            return;
+        }
+        for i in k..cols.len() {
+            cols.swap(k, i);
+            permute(cols, k + 1, n, f);
+            cols.swap(k, i);
+        }
+    }
+
+    #[test]
+    fn square_known_answer() {
+        let cost = vec![
+            vec![4.0, 1.0, 3.0],
+            vec![2.0, 0.0, 5.0],
+            vec![3.0, 2.0, 2.0],
+        ];
+        let res = hungarian_min_cost(&cost).unwrap();
+        assert_eq!(res.cost, 5.0); // 1 + 2 + 2
+        assert_eq!(res.row_to_col, vec![1, 0, 2]);
+    }
+
+    #[test]
+    fn rectangular_leaves_columns_free() {
+        let cost = vec![vec![10.0, 1.0, 7.0, 3.0], vec![2.0, 9.0, 8.0, 4.0]];
+        let res = hungarian_min_cost(&cost).unwrap();
+        assert_eq!(res.cost, 3.0); // rows pick columns 1 and 0
+    }
+
+    #[test]
+    fn forbidden_edges_are_avoided() {
+        let inf = f64::INFINITY;
+        let cost = vec![vec![inf, 5.0], vec![1.0, inf]];
+        let res = hungarian_min_cost(&cost).unwrap();
+        assert_eq!(res.row_to_col, vec![1, 0]);
+        assert_eq!(res.cost, 6.0);
+    }
+
+    #[test]
+    fn infeasible_returns_none() {
+        let inf = f64::INFINITY;
+        // Row 1 has no finite edge.
+        let cost = vec![vec![1.0, 2.0], vec![inf, inf]];
+        assert!(hungarian_min_cost(&cost).is_none());
+        // Both rows can only use column 0.
+        let cost = vec![vec![1.0, inf], vec![1.0, inf]];
+        assert!(hungarian_min_cost(&cost).is_none());
+    }
+
+    #[test]
+    fn empty_problem() {
+        let res = hungarian_min_cost(&[]).unwrap();
+        assert_eq!(res.cost, 0.0);
+        assert!(res.row_to_col.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "rows <= cols")]
+    fn too_many_rows_panics() {
+        let _ = hungarian_min_cost(&[vec![1.0], vec![2.0]]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_randoms() {
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2024);
+        for trial in 0..200 {
+            let n = rng.gen_range(1..=5);
+            let m = rng.gen_range(n..=6);
+            let cost: Vec<Vec<f64>> = (0..n)
+                .map(|_| {
+                    (0..m)
+                        .map(|_| {
+                            if rng.gen_bool(0.15) {
+                                f64::INFINITY
+                            } else {
+                                rng.gen_range(0..100) as f64
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let expected = brute_force(&cost);
+            let got = hungarian_min_cost(&cost);
+            match (expected, got) {
+                (None, None) => {}
+                (Some(e), Some(g)) => {
+                    assert!((e - g.cost).abs() < 1e-9, "trial {trial}: {e} vs {}", g.cost)
+                }
+                (e, g) => panic!("trial {trial}: feasibility mismatch {e:?} vs {g:?}"),
+            }
+        }
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn assignment_is_injective(seed in 0u64..500) {
+            use rand::prelude::*;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let n = rng.gen_range(1..=6);
+            let m = rng.gen_range(n..=8);
+            let cost: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..m).map(|_| rng.gen_range(0.0..50.0)).collect())
+                .collect();
+            let res = hungarian_min_cost(&cost).expect("all-finite instance is feasible");
+            let mut seen = std::collections::HashSet::new();
+            for &c in &res.row_to_col {
+                proptest::prop_assert!(c < m);
+                proptest::prop_assert!(seen.insert(c), "column used twice");
+            }
+        }
+    }
+}

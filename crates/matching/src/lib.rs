@@ -1,0 +1,18 @@
+//! # cpo-matching — bipartite matching substrate
+//!
+//! The Theorem 19 construction of the paper reduces one-to-one
+//! period/energy optimization to a **minimum-weight bipartite matching**
+//! between stages and processors. This crate implements the required
+//! machinery from scratch:
+//!
+//! * [`hungarian`] — the Hungarian algorithm (Kuhn–Munkres with potentials,
+//!   O(n²m)) for minimum-cost assignment with forbidden (`∞`) edges and
+//!   rectangular cost matrices;
+//! * [`hopcroft_karp`] — Hopcroft–Karp maximum-cardinality matching
+//!   (O(E·√V)), used for pure feasibility questions.
+
+pub mod hopcroft_karp;
+pub mod hungarian;
+
+pub use hopcroft_karp::max_bipartite_matching;
+pub use hungarian::{hungarian_min_cost, AssignmentResult};

@@ -1,0 +1,149 @@
+//! Energy model (Section 3.5 of the paper).
+//!
+//! The energy consumed by the platform is the sum over enrolled processors
+//! of `E(u) = E_stat(u) + E_dyn(s_u)`, where the dynamic part is
+//! `E_dyn(s) = s^α` for an arbitrary rational `α > 1` (α = 2 in the
+//! Section 2 example, following Ishihara & Yasuura). `E(u)` is an energy
+//! *per time unit* (a power), which is why the paper always pairs the energy
+//! criterion with the period.
+
+use crate::mapping::Mapping;
+use crate::platform::Platform;
+use serde::{Deserialize, Serialize};
+
+/// The `E = E_stat + s^α` energy model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Exponent `α > 1` of the dynamic energy.
+    pub alpha: f64,
+}
+
+impl Default for EnergyModel {
+    /// `α = 2`, the assumption of the Section 2 example.
+    fn default() -> Self {
+        EnergyModel { alpha: 2.0 }
+    }
+}
+
+impl EnergyModel {
+    /// Build a model with a custom exponent; panics if `α ≤ 1` (the paper
+    /// requires `α > 1`).
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 1.0, "the energy exponent must satisfy α > 1");
+        EnergyModel { alpha }
+    }
+
+    /// Dynamic energy `s^α` of a processor running at speed `s`.
+    #[inline]
+    pub fn dynamic(&self, speed: f64) -> f64 {
+        if self.alpha == 2.0 {
+            speed * speed
+        } else {
+            speed.powf(self.alpha)
+        }
+    }
+
+    /// Full energy `E_stat + s^α` of processor `u` running mode `mode`.
+    #[inline]
+    pub fn proc_energy(&self, platform: &Platform, proc: usize, mode: usize) -> f64 {
+        let p = &platform.procs[proc];
+        p.e_stat + self.dynamic(p.speed(mode))
+    }
+
+    /// Total energy of a mapping: sum over enrolled processors.
+    pub fn mapping_energy(&self, mapping: &Mapping, platform: &Platform) -> f64 {
+        mapping
+            .enrolled_procs()
+            .map(|(proc, mode)| self.proc_energy(platform, proc, mode))
+            .sum()
+    }
+
+    /// Cheapest energy of processor `u` among modes with speed ≥ `min_speed`
+    /// (i.e. the slowest feasible mode). Returns `None` when even the
+    /// highest mode is too slow.
+    ///
+    /// Because `α > 1` makes `s ↦ s^α` strictly increasing, the slowest
+    /// feasible mode is always the cheapest — this is the key monotonicity
+    /// exploited by the Theorem 18/19 constructions.
+    pub fn cheapest_mode_at_least(
+        &self,
+        platform: &Platform,
+        proc: usize,
+        min_speed: f64,
+    ) -> Option<(usize, f64)> {
+        let mode = platform.procs[proc].slowest_mode_at_least(min_speed)?;
+        Some((mode, self.proc_energy(platform, proc, mode)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{Interval, Mapping};
+    use crate::platform::{Platform, Processor};
+
+    fn platform() -> Platform {
+        Platform::comm_homogeneous(
+            vec![
+                Processor::new(vec![3.0, 6.0]).unwrap(),
+                Processor::new(vec![6.0, 8.0]).unwrap().with_static_energy(5.0),
+                Processor::new(vec![1.0, 6.0]).unwrap(),
+            ],
+            1.0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn default_alpha_is_square() {
+        let e = EnergyModel::default();
+        assert_eq!(e.dynamic(3.0), 9.0);
+        assert_eq!(e.dynamic(8.0), 64.0);
+    }
+
+    #[test]
+    fn arbitrary_alpha() {
+        let e = EnergyModel::new(3.0);
+        assert!((e.dynamic(2.0) - 8.0).abs() < 1e-12);
+        let e = EnergyModel::new(1.5);
+        assert!((e.dynamic(4.0) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "α > 1")]
+    fn rejects_alpha_at_most_one() {
+        let _ = EnergyModel::new(1.0);
+    }
+
+    #[test]
+    fn static_energy_is_included() {
+        let pf = platform();
+        let e = EnergyModel::default();
+        assert_eq!(e.proc_energy(&pf, 1, 0), 5.0 + 36.0);
+        assert_eq!(e.proc_energy(&pf, 0, 0), 9.0);
+    }
+
+    #[test]
+    fn mapping_energy_sums_enrolled() {
+        let pf = platform();
+        let e = EnergyModel::default();
+        let m = Mapping::new()
+            .with(Interval::new(0, 0, 0), 0, 0)
+            .with(Interval::new(1, 0, 0), 2, 1);
+        assert_eq!(e.mapping_energy(&m, &pf), 9.0 + 36.0);
+    }
+
+    #[test]
+    fn cheapest_feasible_mode() {
+        let pf = platform();
+        let e = EnergyModel::default();
+        // Need speed ≥ 4 on P0 {3, 6}: mode 1 at energy 36.
+        assert_eq!(e.cheapest_mode_at_least(&pf, 0, 4.0), Some((1, 36.0)));
+        // Need speed ≥ 2 on P0: slowest mode 0 at energy 9.
+        assert_eq!(e.cheapest_mode_at_least(&pf, 0, 2.0), Some((0, 9.0)));
+        // Need speed ≥ 100: infeasible.
+        assert_eq!(e.cheapest_mode_at_least(&pf, 0, 100.0), None);
+        // Speed 0 requirement: slowest mode.
+        assert_eq!(e.cheapest_mode_at_least(&pf, 2, 0.0), Some((0, 1.0)));
+    }
+}

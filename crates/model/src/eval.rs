@@ -1,0 +1,360 @@
+//! Performance evaluation of a mapping (Section 3.4 of the paper).
+//!
+//! * **Period** — the critical resource's cycle-time. Under the *overlap*
+//!   model (multi-threaded communication, Eq. 3) the cycle-time of a
+//!   processor is the max of its incoming-communication time, computation
+//!   time and outgoing-communication time; under the *no-overlap* model
+//!   (single-threaded, Eq. 4) it is their sum.
+//! * **Latency** — the end-to-end time of one data set (Eq. 5); it is
+//!   identical in both communication models.
+//! * **Global objectives** — `X = max_a W_a · X_a` (Eq. 6).
+//! * **Energy** — delegated to [`crate::energy`].
+
+use crate::application::AppSet;
+use crate::energy::EnergyModel;
+use crate::mapping::Mapping;
+use crate::num::fmax;
+use crate::platform::Platform;
+use serde::{Deserialize, Serialize};
+
+/// Communication model (Section 3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommModel {
+    /// Send, compute and receive proceed in parallel (multi-threaded
+    /// communication libraries, e.g. MPICH2). Cycle-time = max of the three
+    /// operation times (Eq. 3).
+    Overlap,
+    /// The three operations are serialized (single-threaded programs).
+    /// Cycle-time = sum of the three operation times (Eq. 4).
+    NoOverlap,
+}
+
+impl CommModel {
+    /// Both models, convenient for exhaustive tests.
+    pub const ALL: [CommModel; 2] = [CommModel::Overlap, CommModel::NoOverlap];
+
+    /// Combine the three operation times per the model.
+    #[inline]
+    pub fn combine(self, incoming: f64, compute: f64, outgoing: f64) -> f64 {
+        match self {
+            CommModel::Overlap => fmax(incoming, fmax(compute, outgoing)),
+            CommModel::NoOverlap => incoming + compute + outgoing,
+        }
+    }
+}
+
+/// Detailed timing of one interval assignment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CycleBreakdown {
+    /// Time of the incoming communication `δ^{d_j - 1} / b`.
+    pub incoming: f64,
+    /// Computation time `Σ_{i∈I_j} w_i / s`.
+    pub compute: f64,
+    /// Time of the outgoing communication `δ^{e_j} / b`.
+    pub outgoing: f64,
+}
+
+impl CycleBreakdown {
+    /// Cycle-time under the given communication model.
+    #[inline]
+    pub fn cycle_time(&self, model: CommModel) -> f64 {
+        model.combine(self.incoming, self.compute, self.outgoing)
+    }
+}
+
+/// Full evaluation of a mapping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// Per-application period `T_a`.
+    pub periods: Vec<f64>,
+    /// Per-application latency `L_a`.
+    pub latencies: Vec<f64>,
+    /// Global weighted period `max_a W_a · T_a`.
+    pub period: f64,
+    /// Global weighted latency `max_a W_a · L_a`.
+    pub latency: f64,
+    /// Total energy (power) consumed per time unit by enrolled processors.
+    pub energy: f64,
+}
+
+/// Evaluator binding an application set, a platform and an energy model.
+pub struct Evaluator<'m> {
+    apps: &'m AppSet,
+    platform: &'m Platform,
+    energy: EnergyModel,
+}
+
+impl<'m> Evaluator<'m> {
+    /// Build an evaluator with the default energy model (`α = 2`,
+    /// Section 2's convention).
+    pub fn new(apps: &'m AppSet, platform: &'m Platform) -> Self {
+        Evaluator { apps, platform, energy: EnergyModel::default() }
+    }
+
+    /// Use a custom energy model.
+    pub fn with_energy(mut self, energy: EnergyModel) -> Self {
+        self.energy = energy;
+        self
+    }
+
+    /// The bound application set.
+    pub fn apps(&self) -> &AppSet {
+        self.apps
+    }
+
+    /// The bound platform.
+    pub fn platform(&self) -> &Platform {
+        self.platform
+    }
+
+    /// The bound energy model.
+    pub fn energy_model(&self) -> EnergyModel {
+        self.energy
+    }
+
+    /// Timing breakdown of each interval of application `app`'s chain,
+    /// in chain order.
+    pub fn chain_breakdown(&self, mapping: &Mapping, app: usize) -> Vec<CycleBreakdown> {
+        let chain = mapping.app_chain(app);
+        let application = &self.apps.apps[app];
+        let m = chain.len();
+        let mut out = Vec::with_capacity(m);
+        for (j, asg) in chain.iter().enumerate() {
+            let speed = self.platform.procs[asg.proc].speed(asg.mode);
+            let din = application.input_of(asg.interval.first);
+            let dout = application.output_of(asg.interval.last);
+            let bw_in = if j == 0 {
+                self.platform.bw_input(app, asg.proc)
+            } else {
+                self.platform.bw_inter(app, chain[j - 1].proc, asg.proc)
+            };
+            let bw_out = if j == m - 1 {
+                self.platform.bw_output(app, asg.proc)
+            } else {
+                self.platform.bw_inter(app, asg.proc, chain[j + 1].proc)
+            };
+            out.push(CycleBreakdown {
+                incoming: din / bw_in,
+                compute: application.interval_work(asg.interval.first, asg.interval.last) / speed,
+                outgoing: dout / bw_out,
+            });
+        }
+        out
+    }
+
+    /// Period `T_a` of application `app` (Eqs. 3 / 4), unweighted.
+    pub fn app_period(&self, mapping: &Mapping, app: usize, model: CommModel) -> f64 {
+        self.chain_breakdown(mapping, app)
+            .iter()
+            .map(|c| c.cycle_time(model))
+            .fold(0.0, fmax)
+    }
+
+    /// Latency `L_a` of application `app` (Eq. 5), unweighted. Identical in
+    /// both communication models.
+    pub fn app_latency(&self, mapping: &Mapping, app: usize) -> f64 {
+        let breakdown = self.chain_breakdown(mapping, app);
+        let mut latency = match breakdown.first() {
+            Some(first) => first.incoming,
+            None => return f64::INFINITY,
+        };
+        for c in &breakdown {
+            latency += c.compute + c.outgoing;
+        }
+        latency
+    }
+
+    /// Global weighted period `max_a W_a · T_a` (Eq. 6).
+    pub fn period(&self, mapping: &Mapping, model: CommModel) -> f64 {
+        (0..self.apps.a())
+            .map(|a| self.apps.apps[a].weight * self.app_period(mapping, a, model))
+            .fold(0.0, fmax)
+    }
+
+    /// Global weighted latency `max_a W_a · L_a` (Eq. 6).
+    pub fn latency(&self, mapping: &Mapping) -> f64 {
+        (0..self.apps.a())
+            .map(|a| self.apps.apps[a].weight * self.app_latency(mapping, a))
+            .fold(0.0, fmax)
+    }
+
+    /// Total energy per time unit of enrolled processors (Section 3.5).
+    pub fn energy(&self, mapping: &Mapping) -> f64 {
+        self.energy.mapping_energy(mapping, self.platform)
+    }
+
+    /// Evaluate everything at once.
+    pub fn evaluate(&self, mapping: &Mapping, model: CommModel) -> Evaluation {
+        let periods: Vec<f64> =
+            (0..self.apps.a()).map(|a| self.app_period(mapping, a, model)).collect();
+        let latencies: Vec<f64> =
+            (0..self.apps.a()).map(|a| self.app_latency(mapping, a)).collect();
+        let period = periods
+            .iter()
+            .zip(&self.apps.apps)
+            .map(|(t, app)| app.weight * t)
+            .fold(0.0, fmax);
+        let latency = latencies
+            .iter()
+            .zip(&self.apps.apps)
+            .map(|(l, app)| app.weight * l)
+            .fold(0.0, fmax);
+        Evaluation { periods, latencies, period, latency, energy: self.energy(mapping) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::application::Application;
+    use crate::mapping::Interval;
+    use crate::platform::{Platform, Processor};
+
+    /// The Section 2 motivating example: two applications, three bi-modal
+    /// processors, all bandwidths 1, energy = s².
+    pub fn example() -> (AppSet, Platform) {
+        let app1 = Application::from_pairs(1.0, &[(3.0, 3.0), (2.0, 2.0), (1.0, 0.0)]);
+        let app2 = Application::from_pairs(0.0, &[(2.0, 1.0), (6.0, 1.0), (4.0, 1.0), (2.0, 1.0)]);
+        let apps = AppSet::new(vec![app1, app2]).unwrap();
+        let platform = Platform::comm_homogeneous(
+            vec![
+                Processor::new(vec![3.0, 6.0]).unwrap(),
+                Processor::new(vec![6.0, 8.0]).unwrap(),
+                Processor::new(vec![1.0, 6.0]).unwrap(),
+            ],
+            1.0,
+        )
+        .unwrap();
+        (apps, platform)
+    }
+
+    #[test]
+    fn section2_period_optimal_mapping() {
+        // App1 entirely on P3 (index 2) at speed 6; App2 first half on P2
+        // (index 1) at speed 8, second half on P1 (index 0) at speed 6.
+        let (apps, pf) = example();
+        let ev = Evaluator::new(&apps, &pf);
+        let m = Mapping::new()
+            .with(Interval::new(0, 0, 2), 2, 1)
+            .with(Interval::new(1, 0, 1), 1, 1)
+            .with(Interval::new(1, 2, 3), 0, 1);
+        m.validate(&apps, &pf).unwrap();
+        // Eq. (1) of the paper: global period 1 under the overlap model.
+        assert!((ev.period(&m, CommModel::Overlap) - 1.0).abs() < 1e-12);
+        assert!((ev.app_period(&m, 0, CommModel::Overlap) - 1.0).abs() < 1e-12);
+        assert!((ev.app_period(&m, 1, CommModel::Overlap) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn section2_latency_optimal_mapping() {
+        // App1 on P1 (speed 6), App2 on P2 (speed 8): global latency 2.75
+        // (Eq. 2 of the paper).
+        let (apps, pf) = example();
+        let ev = Evaluator::new(&apps, &pf);
+        let m = Mapping::new()
+            .with(Interval::new(0, 0, 2), 0, 1)
+            .with(Interval::new(1, 0, 3), 1, 1);
+        m.validate(&apps, &pf).unwrap();
+        let l0 = ev.app_latency(&m, 0); // 1/1 + 6/6 + 0/1 = 2
+        let l1 = ev.app_latency(&m, 1); // 0/1 + 14/8 + 1/1 = 2.75
+        assert!((l0 - 2.0).abs() < 1e-12);
+        assert!((l1 - 2.75).abs() < 1e-12);
+        assert!((ev.latency(&m) - 2.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn section2_energy_minimal_mapping_period_14() {
+        // App1 on P1 in lowest mode (3), App2 on P3 in lowest mode (1):
+        // energy 3² + 1² = 10, period 14.
+        let (apps, pf) = example();
+        let ev = Evaluator::new(&apps, &pf);
+        let m = Mapping::new()
+            .with(Interval::new(0, 0, 2), 0, 0)
+            .with(Interval::new(1, 0, 3), 2, 0);
+        m.validate(&apps, &pf).unwrap();
+        assert!((ev.energy(&m) - 10.0).abs() < 1e-12);
+        assert!((ev.period(&m, CommModel::Overlap) - 14.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn section2_energy_period_tradeoff() {
+        // First modes everywhere: app1 on P1 (3), app2 stages 1-3 on P2 (6),
+        // stage 4 on P3 (1): period 2, energy 3² + 6² + 1² = 46.
+        let (apps, pf) = example();
+        let ev = Evaluator::new(&apps, &pf);
+        let m = Mapping::new()
+            .with(Interval::new(0, 0, 2), 0, 0)
+            .with(Interval::new(1, 0, 2), 1, 0)
+            .with(Interval::new(1, 3, 3), 2, 0);
+        m.validate(&apps, &pf).unwrap();
+        assert!((ev.period(&m, CommModel::Overlap) - 2.0).abs() < 1e-12);
+        assert!((ev.energy(&m) - 46.0).abs() < 1e-12);
+        // The period-optimal mapping costs 6² + 8² + 6² = 136.
+        let fast = Mapping::new()
+            .with(Interval::new(0, 0, 2), 2, 1)
+            .with(Interval::new(1, 0, 1), 1, 1)
+            .with(Interval::new(1, 2, 3), 0, 1);
+        assert!((ev.energy(&fast) - 136.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_overlap_dominates_overlap() {
+        let (apps, pf) = example();
+        let ev = Evaluator::new(&apps, &pf);
+        let m = Mapping::new()
+            .with(Interval::new(0, 0, 2), 2, 1)
+            .with(Interval::new(1, 0, 1), 1, 1)
+            .with(Interval::new(1, 2, 3), 0, 1);
+        let t_ov = ev.period(&m, CommModel::Overlap);
+        let t_no = ev.period(&m, CommModel::NoOverlap);
+        assert!(t_ov <= t_no);
+        // Latency is identical under both models by definition (Eq. 5).
+        assert_eq!(ev.latency(&m), ev.latency(&m));
+    }
+
+    #[test]
+    fn weighted_objective_scales() {
+        let (mut apps, pf) = example();
+        apps.apps[0].weight = 10.0;
+        let ev = Evaluator::new(&apps, &pf);
+        let m = Mapping::new()
+            .with(Interval::new(0, 0, 2), 0, 1)
+            .with(Interval::new(1, 0, 3), 1, 1);
+        // App1 latency 2 × weight 10 = 20 now dominates app2's 2.75.
+        assert!((ev.latency(&m) - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn evaluation_struct_is_consistent() {
+        let (apps, pf) = example();
+        let ev = Evaluator::new(&apps, &pf);
+        let m = Mapping::new()
+            .with(Interval::new(0, 0, 2), 0, 1)
+            .with(Interval::new(1, 0, 3), 1, 1);
+        let e = ev.evaluate(&m, CommModel::Overlap);
+        assert_eq!(e.periods.len(), 2);
+        assert_eq!(e.latencies.len(), 2);
+        assert!((e.latency - 2.75).abs() < 1e-12);
+        assert!((e.energy - (36.0 + 64.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_matches_hand_computation() {
+        let (apps, pf) = example();
+        let ev = Evaluator::new(&apps, &pf);
+        let m = Mapping::new()
+            .with(Interval::new(0, 0, 2), 2, 1)
+            .with(Interval::new(1, 0, 1), 1, 1)
+            .with(Interval::new(1, 2, 3), 0, 1);
+        let b0 = ev.chain_breakdown(&m, 0);
+        assert_eq!(b0.len(), 1);
+        assert!((b0[0].incoming - 1.0).abs() < 1e-12);
+        assert!((b0[0].compute - 1.0).abs() < 1e-12);
+        assert!((b0[0].outgoing - 0.0).abs() < 1e-12);
+        let b1 = ev.chain_breakdown(&m, 1);
+        assert_eq!(b1.len(), 2);
+        assert!((b1[0].compute - 1.0).abs() < 1e-12); // (2+6)/8
+        assert!((b1[1].compute - 1.0).abs() < 1e-12); // (4+2)/6
+        assert!((b1[1].outgoing - 1.0).abs() < 1e-12);
+    }
+}

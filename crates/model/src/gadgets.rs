@@ -1,0 +1,703 @@
+//! NP-hardness reduction gadgets (Theorems 5–7, 9–11, 26, 27).
+//!
+//! The paper proves its NP-completeness entries by reductions from
+//! 3-PARTITION and 2-PARTITION. This module implements:
+//!
+//! * the source problems themselves with small exact solvers (so tests can
+//!   manufacture YES and NO instances and check them independently);
+//! * the instance *encodings* used in the proofs, mapping a partition
+//!   instance to a `(AppSet, Platform, target)` triple;
+//! * the *intended mappings*: given a certificate of the source problem,
+//!   build the mapping whose existence the proof claims.
+//!
+//! Exercising these gadgets end-to-end (YES instances produce feasible
+//! mapping instances, NO instances provably infeasible via exhaustive
+//! search) is how the repository certifies the NP-hard cells of Tables 1
+//! and 2.
+
+use crate::application::{AppSet, Application, Stage};
+use crate::mapping::{Interval, Mapping};
+use crate::platform::{Links, Platform, Processor};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
+
+// ---------------------------------------------------------------------------
+// Source problems
+// ---------------------------------------------------------------------------
+
+/// A 3-PARTITION instance: `3m` positive integers with `B/4 < a_i < B/2` and
+/// `Σ a_i = m·B`; question: can they be split into `m` triples each summing
+/// to `B`?
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ThreePartition {
+    /// The target triple sum `B`.
+    pub b: u64,
+    /// The `3m` items.
+    pub items: Vec<u64>,
+}
+
+impl ThreePartition {
+    /// Number of triples `m`.
+    pub fn m(&self) -> usize {
+        self.items.len() / 3
+    }
+
+    /// Validate the structural side conditions (`B/4 < a_i < B/2`,
+    /// `Σ = m·B`, `|items| = 3m`).
+    pub fn is_well_formed(&self) -> bool {
+        let m = self.m() as u64;
+        self.items.len().is_multiple_of(3)
+            && !self.items.is_empty()
+            && self.items.iter().sum::<u64>() == m * self.b
+            && self.items.iter().all(|&a| 4 * a > self.b && 4 * a < 2 * self.b)
+    }
+
+    /// Exact solver by backtracking; returns the triples as item-index
+    /// triples, or `None`. Exponential — for gadget-sized instances only.
+    pub fn solve(&self) -> Option<Vec<[usize; 3]>> {
+        let n = self.items.len();
+        if !n.is_multiple_of(3) || n == 0 {
+            return None;
+        }
+        let mut used = vec![false; n];
+        let mut triples = Vec::with_capacity(n / 3);
+        if self.backtrack(&mut used, &mut triples) {
+            Some(triples)
+        } else {
+            None
+        }
+    }
+
+    fn backtrack(&self, used: &mut [bool], triples: &mut Vec<[usize; 3]>) -> bool {
+        // Find the first unused item; it anchors the next triple, which
+        // kills the symmetric permutations of complete triples.
+        let first = match used.iter().position(|u| !u) {
+            None => return true,
+            Some(i) => i,
+        };
+        used[first] = true;
+        let n = self.items.len();
+        for j in (first + 1)..n {
+            if used[j] || self.items[first] + self.items[j] >= self.b {
+                continue;
+            }
+            used[j] = true;
+            let need = self.b - self.items[first] - self.items[j];
+            for k in (j + 1)..n {
+                if !used[k] && self.items[k] == need {
+                    used[k] = true;
+                    triples.push([first, j, k]);
+                    if self.backtrack(used, triples) {
+                        return true;
+                    }
+                    triples.pop();
+                    used[k] = false;
+                }
+            }
+            used[j] = false;
+        }
+        used[first] = false;
+        false
+    }
+
+    /// Manufacture a YES instance with `m` triples: each triple is
+    /// `(B/4 + 1 + r, B/4 + 1 + r', B/2 - 2 - r - r')`-shaped around a base
+    /// `B`, then globally shuffled. All side conditions hold by
+    /// construction.
+    pub fn yes_instance(m: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Pick B large enough that the open interval (B/4, B/2) has room.
+        let b: u64 = 100;
+        let mut items = Vec::with_capacity(3 * m);
+        for _ in 0..m {
+            // a1, a2 ∈ (B/4, B/2) with a3 = B - a1 - a2 also in range.
+            // With B=100: a_i ∈ [26, 49]; choose a1, a2 ∈ [26, 37] so that
+            // a3 = 100 - a1 - a2 ∈ [26, 48].
+            let a1 = rng.gen_range(26..=37);
+            let a2 = rng.gen_range(26..=37);
+            let a3 = b - a1 - a2;
+            items.extend_from_slice(&[a1, a2, a3]);
+        }
+        items.shuffle(&mut rng);
+        let inst = ThreePartition { b, items };
+        debug_assert!(inst.is_well_formed());
+        inst
+    }
+
+    /// Manufacture a NO instance: take a YES instance and trade 1 unit
+    /// between two items of *different* triples so the multiset can no
+    /// longer be partitioned (verified by the exact solver; retries with
+    /// fresh seeds until a genuine NO instance is found).
+    pub fn no_instance(m: usize, seed: u64) -> Self {
+        assert!(m >= 2, "a NO instance needs at least two triples");
+        for attempt in 0..64 {
+            let mut inst = Self::yes_instance(m, seed.wrapping_add(attempt));
+            let k = inst.items.len();
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x9e3779b97f4a7c15 ^ attempt);
+            let i = rng.gen_range(0..k);
+            let j = (i + 1 + rng.gen_range(0..k - 1)) % k;
+            inst.items[i] += 1;
+            inst.items[j] -= 1;
+            if inst.is_well_formed() && inst.solve().is_none() {
+                return inst;
+            }
+        }
+        panic!("could not manufacture a NO 3-partition instance");
+    }
+}
+
+/// A 2-PARTITION instance: positive integers; question: is there a subset
+/// summing to exactly half the total?
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TwoPartition {
+    /// The items `a_1 … a_n`.
+    pub items: Vec<u64>,
+}
+
+impl TwoPartition {
+    /// Total sum `S`.
+    pub fn total(&self) -> u64 {
+        self.items.iter().sum()
+    }
+
+    /// Exact pseudo-polynomial subset-sum DP. Returns the indicator vector
+    /// of one side of the partition, or `None`.
+    pub fn solve(&self) -> Option<Vec<bool>> {
+        let s = self.total();
+        if !s.is_multiple_of(2) {
+            return None;
+        }
+        let half = (s / 2) as usize;
+        // reach[c] = Some(i) if sum c is reachable, with i the last item used.
+        let mut reach: Vec<Option<usize>> = vec![None; half + 1];
+        let mut from: Vec<usize> = vec![usize::MAX; half + 1];
+        reach[0] = Some(usize::MAX);
+        for (i, &a) in self.items.iter().enumerate() {
+            let a = a as usize;
+            if a > half {
+                continue;
+            }
+            for c in (a..=half).rev() {
+                if reach[c].is_none() && reach[c - a].is_some() && reach[c - a] != Some(i) {
+                    reach[c] = Some(i);
+                    from[c] = c - a;
+                }
+            }
+        }
+        reach[half]?;
+        let mut side = vec![false; self.items.len()];
+        let mut c = half;
+        while c > 0 {
+            let i = reach[c].expect("reachable");
+            side[i] = true;
+            c = from[c];
+        }
+        Some(side)
+    }
+
+    /// A YES instance: random items plus a balancing item.
+    pub fn yes_instance(n: usize, seed: u64) -> Self {
+        assert!(n >= 2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        loop {
+            let mut items: Vec<u64> = (0..n).map(|_| rng.gen_range(1..=20)).collect();
+            let s: u64 = items.iter().sum();
+            if s % 2 == 1 {
+                items[0] += 1;
+            }
+            let inst = TwoPartition { items };
+            if inst.solve().is_some() {
+                return inst;
+            }
+        }
+    }
+
+    /// A NO instance: odd total guarantees infeasibility.
+    pub fn no_instance(n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut items: Vec<u64> = (0..n).map(|_| rng.gen_range(1..=20)).collect();
+        if items.iter().sum::<u64>() % 2 == 0 {
+            items[0] += 1;
+        }
+        TwoPartition { items }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 5 encoding — period / interval / heterogeneous uni-modal procs
+// ---------------------------------------------------------------------------
+
+/// The Theorem 5 instance: `m` identical pipelines of `B` unit-work stages
+/// without communication, `3m` uni-modal processors with speeds `a_j`;
+/// target global period 1.
+#[derive(Debug, Clone)]
+pub struct Theorem5Gadget {
+    /// The generated applications (one per triple).
+    pub apps: AppSet,
+    /// The generated platform (one processor per item).
+    pub platform: Platform,
+    /// The period target (always 1).
+    pub target_period: f64,
+}
+
+/// Encode a 3-PARTITION instance per the Theorem 5 proof.
+pub fn theorem5_encode(inst: &ThreePartition) -> Theorem5Gadget {
+    let m = inst.m();
+    let b = inst.b as usize;
+    let app = Application::named(
+        "thm5-pipeline",
+        0.0,
+        vec![Stage::new(1.0, 0.0); b],
+        1.0,
+    )
+    .expect("valid");
+    let apps = AppSet::new(vec![app; m]).expect("m >= 1");
+    let procs = inst
+        .items
+        .iter()
+        .map(|&a| Processor::uni_modal(a as f64).expect("positive speed"))
+        .collect();
+    let platform = Platform::new(procs, Links::Uniform(1.0)).expect("valid");
+    Theorem5Gadget { apps, platform, target_period: 1.0 }
+}
+
+/// Given a 3-PARTITION certificate, build the interval mapping the Theorem 5
+/// proof describes: for triple `I_j = {a'_1, a'_2, a'_3}` of application
+/// `j`, the first `a'_1` stages go to the processor of speed `a'_1`, etc.
+pub fn theorem5_mapping(inst: &ThreePartition, triples: &[[usize; 3]]) -> Mapping {
+    let mut mapping = Mapping::new();
+    for (app, triple) in triples.iter().enumerate() {
+        let mut first = 0usize;
+        for &item in triple {
+            let len = inst.items[item] as usize;
+            mapping.push(Interval::new(app, first, first + len - 1), item, 0);
+            first += len;
+        }
+    }
+    mapping
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 9 encoding — latency / one-to-one / heterogeneous uni-modal procs
+// ---------------------------------------------------------------------------
+
+/// The Theorem 9 instance: `m` identical 3-stage unit-work pipelines without
+/// communication, `3m` uni-modal processors with speeds `1/a_j`; target
+/// global latency `B`.
+#[derive(Debug, Clone)]
+pub struct Theorem9Gadget {
+    /// The generated applications.
+    pub apps: AppSet,
+    /// The generated platform.
+    pub platform: Platform,
+    /// The latency target (`B`).
+    pub target_latency: f64,
+}
+
+/// Encode a 3-PARTITION instance per the Theorem 9 proof.
+pub fn theorem9_encode(inst: &ThreePartition) -> Theorem9Gadget {
+    let m = inst.m();
+    let app = Application::named(
+        "thm9-pipeline",
+        0.0,
+        vec![Stage::new(1.0, 0.0); 3],
+        1.0,
+    )
+    .expect("valid");
+    let apps = AppSet::new(vec![app; m]).expect("m >= 1");
+    let procs = inst
+        .items
+        .iter()
+        .map(|&a| Processor::uni_modal(1.0 / a as f64).expect("positive speed"))
+        .collect();
+    let platform = Platform::new(procs, Links::Uniform(1.0)).expect("valid");
+    Theorem9Gadget { apps, platform, target_latency: inst.b as f64 }
+}
+
+/// Given a certificate, build the one-to-one mapping of the Theorem 9 proof:
+/// stage `i` of application `j` goes to the processor of speed `1/a'_{i,j}`.
+pub fn theorem9_mapping(triples: &[[usize; 3]]) -> Mapping {
+    let mut mapping = Mapping::new();
+    for (app, triple) in triples.iter().enumerate() {
+        for (stage, &item) in triple.iter().enumerate() {
+            mapping.push(Interval::new(app, stage, stage), item, 0);
+        }
+    }
+    mapping
+}
+
+// ---------------------------------------------------------------------------
+// Theorem 26 encoding — tri-criteria / one-to-one / multi-modal, fully hom.
+// ---------------------------------------------------------------------------
+
+/// The Theorem 26 instance: a single `n`-stage application without
+/// communication on `n` identical processors with `2n` modes
+/// (`s_{2i-1} = K^i`, `s_{2i} = K^i + a_i·X / K^{i(α-1)}`), stage works
+/// `w_i = K^{i(α+1)}`, and thresholds
+/// `E° = E* + αX(S/2 + 1/2)`, `L° = L* − X(S/2 − 1/2)`, `T° = L°`.
+#[derive(Debug, Clone)]
+pub struct Theorem26Gadget {
+    /// The single application.
+    pub apps: AppSet,
+    /// The platform (n identical multi-modal processors).
+    pub platform: Platform,
+    /// Energy bound `E°`.
+    pub target_energy: f64,
+    /// Latency bound `L°`.
+    pub target_latency: f64,
+    /// Period bound `T°` (= `L°`).
+    pub target_period: f64,
+    /// The scale base `K` chosen for the instance.
+    pub k: f64,
+    /// The perturbation scale `X` chosen for the instance.
+    pub x: f64,
+}
+
+/// Encode a 2-PARTITION instance per the Theorem 26 proof, with `α = 2`.
+///
+/// `K` and `X` are selected numerically so that the proof's separation
+/// inequalities hold for the concrete items (the proof only needs *some*
+/// valid pair; we take the smallest power of two `K` and largest power of
+/// two `X ≤ 1/4` that satisfy them). Practical for `n ≤ 5` before `K^{iα}`
+/// exhausts `f64` precision.
+pub fn theorem26_encode(inst: &TwoPartition) -> Theorem26Gadget {
+    let alpha = 2.0;
+    let n = inst.items.len();
+    assert!(n >= 2, "gadget needs at least two items");
+    let s: f64 = inst.total() as f64;
+
+    // Numerically select K (doubling) so that for all j ≥ 2:
+    //   K^{jα}   > Σ_{i<j} K^{iα} + α (S/2 − 1/2)
+    //   K^{jα+1} > Σ_{i≤j} K^{iα} + (K^{α+1}/K^{j-1} a_{j-1} + 1 − S/2)
+    let mut k = 2.0_f64;
+    let k_ok = |k: f64| -> bool {
+        for j in 2..=n {
+            let lhs1 = k.powf(j as f64 * alpha);
+            let rhs1: f64 = (1..j).map(|i| k.powf(i as f64 * alpha)).sum::<f64>()
+                + alpha * (s / 2.0 - 0.5);
+            if lhs1 <= rhs1 {
+                return false;
+            }
+            let lhs2 = k.powf(j as f64 * alpha + 1.0);
+            let rhs2: f64 = (1..=j).map(|i| k.powf(i as f64 * alpha)).sum::<f64>()
+                + (k.powf(alpha + 1.0) / k.powf(j as f64 - 1.0)) * inst.items[j - 2] as f64
+                + 1.0
+                - s / 2.0;
+            if lhs2 <= rhs2 {
+                return false;
+            }
+        }
+        true
+    };
+    while !k_ok(k) {
+        k *= 2.0;
+        assert!(k < 1e6, "failed to select K for the Theorem 26 gadget");
+    }
+
+    // Numerically select X ≤ 1/4 (halving) so that the first-order error
+    // terms f_i^E, f_i^L of the proof stay below X·α/2n and X/2n.
+    let mut x = 0.25_f64;
+    let x_ok = |x: f64| -> bool {
+        for i in 1..=n {
+            let ki = k.powf(i as f64);
+            let ai = inst.items[i - 1] as f64;
+            let s_lo = ki;
+            let s_hi = ki + ai * x / k.powf(i as f64 * (alpha - 1.0));
+            let wi = k.powf(i as f64 * (alpha + 1.0));
+            // f^E_i = (s_hi^α − s_lo^α) − α a_i X
+            let fe = (s_hi.powf(alpha) - s_lo.powf(alpha)) - alpha * ai * x;
+            // f^L_i = a_i X − (w_i/s_lo − w_i/s_hi)
+            let fl = ai * x - (wi / s_lo - wi / s_hi);
+            if fe.abs() >= x * alpha / (2.0 * n as f64) || fl.abs() >= x / (2.0 * n as f64) {
+                return false;
+            }
+        }
+        true
+    };
+    while !x_ok(x) {
+        x /= 2.0;
+        assert!(x > 1e-12, "failed to select X for the Theorem 26 gadget");
+    }
+
+    // Build speeds and stage works.
+    let mut speeds = Vec::with_capacity(2 * n);
+    for i in 1..=n {
+        let ki = k.powf(i as f64);
+        speeds.push(ki);
+        speeds.push(ki + inst.items[i - 1] as f64 * x / k.powf(i as f64 * (alpha - 1.0)));
+    }
+    let stages: Vec<Stage> = (1..=n)
+        .map(|i| Stage::new(k.powf(i as f64 * (alpha + 1.0)), 0.0))
+        .collect();
+    let app = Application::named("thm26-pipeline", 0.0, stages, 1.0).expect("valid");
+    let apps = AppSet::single(app);
+    let proto = Processor::new(speeds).expect("positive speeds");
+    let platform = Platform::new(vec![proto; n], Links::Uniform(1.0)).expect("valid");
+
+    // E* = L* = Σ K^{iα}; thresholds per the proof.
+    let e_star: f64 = (1..=n).map(|i| k.powf(i as f64 * alpha)).sum();
+    let l_star = e_star;
+    let target_energy = e_star + x * alpha * (s / 2.0 + 0.5);
+    let target_latency = l_star - x * (s / 2.0 - 0.5);
+    Theorem26Gadget {
+        apps,
+        platform,
+        target_energy,
+        target_latency,
+        target_period: target_latency,
+        k,
+        x,
+    }
+}
+
+/// Given a 2-PARTITION certificate (indicator of the subset `I`), build the
+/// one-to-one mapping of the Theorem 26 proof: stage `i` runs on processor
+/// `i` at speed `s_{2i}` if `i ∈ I`, else `s_{2i-1}`.
+pub fn theorem26_mapping(side: &[bool]) -> Mapping {
+    let mut mapping = Mapping::new();
+    for (i, &in_subset) in side.iter().enumerate() {
+        // Mode indices: speeds are sorted ascending and pairs (K^i, K^i+ε)
+        // are consecutive, so stage i uses mode 2i or 2i+1.
+        let mode = if in_subset { 2 * i + 1 } else { 2 * i };
+        mapping.push(Interval::new(0, i, i), i, mode);
+    }
+    mapping
+}
+
+
+// ---------------------------------------------------------------------------
+// Theorem 27 encoding — tri-criteria / interval / multi-modal, fully hom.
+// ---------------------------------------------------------------------------
+
+/// The Theorem 27 instance: the Theorem 26 gadget with *big separator
+/// stages* interleaved so that interval mappings are forced back into the
+/// one-to-one shape: a `2n−1`-stage application (`w_{2i−1} = K^{i(α+1)}`,
+/// `w_{2i} = K^{(n+1)(α+1)}`) on `2n−1` identical processors whose mode set
+/// gains a top speed `K^{n+1}`. Each big stage saturates the period bound
+/// `T° = K^{(n+1)α}` exactly at the top mode, so no interval may merge a
+/// big stage with anything else.
+#[derive(Debug, Clone)]
+pub struct Theorem27Gadget {
+    /// The single application (2n−1 stages).
+    pub apps: AppSet,
+    /// The platform (2n−1 identical multi-modal processors).
+    pub platform: Platform,
+    /// Energy bound `E° = (n−1)K^{(n+1)α} + E* + αX(S/2 + 1/2)`.
+    pub target_energy: f64,
+    /// Latency bound `L° = (n−1)K^{(n+1)α} + L* − X(S/2 − 1/2)`.
+    pub target_latency: f64,
+    /// Period bound `T° = K^{(n+1)α}`.
+    pub target_period: f64,
+    /// The scale base `K`.
+    pub k: f64,
+    /// The perturbation scale `X`.
+    pub x: f64,
+}
+
+/// Encode a 2-PARTITION instance per the Theorem 27 proof (`α = 2`).
+/// Practical for `n ≤ 3` before `K^{(n+1)(α+1)}` exhausts `f64` precision.
+pub fn theorem27_encode(inst: &TwoPartition) -> Theorem27Gadget {
+    let alpha = 2.0;
+    let n = inst.items.len();
+    assert!(n >= 2, "gadget needs at least two items");
+    let s: f64 = inst.total() as f64;
+
+    // K selection: the Theorem 26 inequalities extended to j = n+1 so that
+    // a single big-mode processor already busts the energy slack.
+    let mut k = 2.0_f64;
+    let k_ok = |k: f64| -> bool {
+        for j in 2..=(n + 1) {
+            let lhs1 = k.powf(j as f64 * alpha);
+            let rhs1: f64 = (1..j).map(|i| k.powf(i as f64 * alpha)).sum::<f64>()
+                + alpha * (s / 2.0 + 0.5);
+            if lhs1 <= rhs1 {
+                return false;
+            }
+        }
+        true
+    };
+    while !k_ok(k) {
+        k *= 2.0;
+        assert!(k < 1e6, "failed to select K for the Theorem 27 gadget");
+    }
+
+    // X selection: same first-order error bounds as Theorem 26.
+    let mut x = 0.25_f64;
+    let x_ok = |x: f64| -> bool {
+        for i in 1..=n {
+            let ki = k.powf(i as f64);
+            let ai = inst.items[i - 1] as f64;
+            let s_lo = ki;
+            let s_hi = ki + ai * x / k.powf(i as f64 * (alpha - 1.0));
+            let wi = k.powf(i as f64 * (alpha + 1.0));
+            let fe = (s_hi.powf(alpha) - s_lo.powf(alpha)) - alpha * ai * x;
+            let fl = ai * x - (wi / s_lo - wi / s_hi);
+            if fe.abs() >= x * alpha / (2.0 * n as f64) || fl.abs() >= x / (2.0 * n as f64) {
+                return false;
+            }
+        }
+        true
+    };
+    while !x_ok(x) {
+        x /= 2.0;
+        assert!(x > 1e-12, "failed to select X for the Theorem 27 gadget");
+    }
+
+    // 2n−1 stages: small stage i at positions 2(i−1), big stages between.
+    let big_work = k.powf((n + 1) as f64 * (alpha + 1.0));
+    let mut stages = Vec::with_capacity(2 * n - 1);
+    for i in 1..=n {
+        stages.push(Stage::new(k.powf(i as f64 * (alpha + 1.0)), 0.0));
+        if i < n {
+            stages.push(Stage::new(big_work, 0.0));
+        }
+    }
+    let app = Application::named("thm27-pipeline", 0.0, stages, 1.0).expect("valid");
+    let apps = AppSet::single(app);
+
+    // Modes: the Theorem 26 pairs plus the big speed K^{n+1}.
+    let mut speeds = Vec::with_capacity(2 * n + 1);
+    for i in 1..=n {
+        let ki = k.powf(i as f64);
+        speeds.push(ki);
+        speeds.push(ki + inst.items[i - 1] as f64 * x / k.powf(i as f64 * (alpha - 1.0)));
+    }
+    speeds.push(k.powf((n + 1) as f64));
+    let proto = Processor::new(speeds).expect("positive speeds");
+    let platform =
+        Platform::new(vec![proto; 2 * n - 1], Links::Uniform(1.0)).expect("valid");
+
+    let e_star: f64 = (1..=n).map(|i| k.powf(i as f64 * alpha)).sum();
+    let big_energy = (n as f64 - 1.0) * k.powf((n + 1) as f64 * alpha);
+    let target_energy = big_energy + e_star + x * alpha * (s / 2.0 + 0.5);
+    let target_latency = big_energy + e_star - x * (s / 2.0 - 0.5);
+    let target_period = k.powf((n + 1) as f64 * alpha);
+    Theorem27Gadget {
+        apps,
+        platform,
+        target_energy,
+        target_latency,
+        target_period,
+        k,
+        x,
+    }
+}
+
+/// The intended Theorem 27 mapping for a 2-PARTITION certificate: small
+/// stage `i` (position `2(i−1)`) runs mode `2(i−1)` or `2(i−1)+1` per the
+/// certificate; big stages run the top mode (index `2n`).
+pub fn theorem27_mapping(side: &[bool]) -> Mapping {
+    let n = side.len();
+    let mut mapping = Mapping::new();
+    let mut proc = 0usize;
+    for (i, &in_subset) in side.iter().enumerate() {
+        let mode = if in_subset { 2 * i + 1 } else { 2 * i };
+        mapping.push(Interval::new(0, 2 * i, 2 * i), proc, mode);
+        proc += 1;
+        if i + 1 < n {
+            mapping.push(Interval::new(0, 2 * i + 1, 2 * i + 1), proc, 2 * n);
+            proc += 1;
+        }
+    }
+    mapping
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_partition_yes_solves() {
+        for seed in 0..5 {
+            let inst = ThreePartition::yes_instance(3, seed);
+            assert!(inst.is_well_formed());
+            let triples = inst.solve().expect("yes instance must solve");
+            assert_eq!(triples.len(), 3);
+            for t in &triples {
+                assert_eq!(t.iter().map(|&i| inst.items[i]).sum::<u64>(), inst.b);
+            }
+        }
+    }
+
+    #[test]
+    fn three_partition_no_has_no_solution() {
+        for seed in 0..3 {
+            let inst = ThreePartition::no_instance(2, seed);
+            assert!(inst.solve().is_none());
+        }
+    }
+
+    #[test]
+    fn two_partition_solver_roundtrip() {
+        let inst = TwoPartition { items: vec![3, 1, 1, 2, 2, 1] };
+        let side = inst.solve().expect("10/2 = 5 reachable");
+        let sum: u64 = side.iter().zip(&inst.items).filter(|(s, _)| **s).map(|(_, a)| a).sum();
+        assert_eq!(sum, 5);
+        assert!(TwoPartition { items: vec![1, 2, 4] }.solve().is_none());
+        assert!(TwoPartition { items: vec![1, 1, 1] }.solve().is_none());
+    }
+
+    #[test]
+    fn two_partition_factories() {
+        for seed in 0..5 {
+            assert!(TwoPartition::yes_instance(5, seed).solve().is_some());
+            assert!(TwoPartition::no_instance(5, seed).solve().is_none());
+        }
+    }
+
+    #[test]
+    fn theorem5_gadget_shapes() {
+        let inst = ThreePartition::yes_instance(2, 0);
+        let g = theorem5_encode(&inst);
+        assert_eq!(g.apps.a(), 2);
+        assert_eq!(g.apps.apps[0].n(), inst.b as usize);
+        assert_eq!(g.platform.p(), 6);
+        let triples = inst.solve().unwrap();
+        let m = theorem5_mapping(&inst, &triples);
+        m.validate(&g.apps, &g.platform).expect("intended mapping is structurally valid");
+    }
+
+    #[test]
+    fn theorem9_gadget_shapes() {
+        let inst = ThreePartition::yes_instance(2, 1);
+        let g = theorem9_encode(&inst);
+        assert_eq!(g.apps.a(), 2);
+        assert_eq!(g.apps.apps[0].n(), 3);
+        assert_eq!(g.platform.p(), 6);
+        let triples = inst.solve().unwrap();
+        let m = theorem9_mapping(&triples);
+        m.validate(&g.apps, &g.platform).expect("intended mapping is structurally valid");
+        assert!(m.is_one_to_one());
+    }
+
+    #[test]
+    fn theorem27_gadget_builds() {
+        let inst = TwoPartition::yes_instance(2, 3);
+        let g = theorem27_encode(&inst);
+        assert_eq!(g.apps.apps[0].n(), 3);
+        assert_eq!(g.platform.p(), 3);
+        assert_eq!(g.platform.procs[0].modes(), 5);
+        let side = inst.solve().unwrap();
+        let m = theorem27_mapping(&side);
+        m.validate(&g.apps, &g.platform).expect("intended mapping valid");
+        // Big stage saturates the period bound exactly at top mode.
+        let ev = crate::eval::Evaluator::new(&g.apps, &g.platform);
+        let t = ev.period(&m, crate::eval::CommModel::Overlap);
+        assert!((t - g.target_period).abs() < 1e-6 * g.target_period);
+    }
+
+    #[test]
+    fn theorem26_gadget_builds() {
+        let inst = TwoPartition::yes_instance(3, 7);
+        let g = theorem26_encode(&inst);
+        assert_eq!(g.apps.apps[0].n(), 3);
+        assert_eq!(g.platform.p(), 3);
+        assert_eq!(g.platform.procs[0].modes(), 6);
+        assert!(g.k >= 2.0);
+        assert!(g.x <= 0.25);
+        let side = inst.solve().unwrap();
+        let m = theorem26_mapping(&side);
+        m.validate(&g.apps, &g.platform).expect("intended mapping valid");
+    }
+}

@@ -1,0 +1,61 @@
+//! # cpo-model — applicative and platform model
+//!
+//! This crate implements the *framework* of Section 3 of
+//! Benoit, Renaud-Goud, Robert, *"Performance and energy optimization of
+//! concurrent pipelined applications"* (LIP RR-2009-27 / IPDPS 2010):
+//!
+//! * **Applications** (Section 3.1): `A` independent linear-chain workflows.
+//!   Application `a` has `n_a` stages; stage `S_a^k` has computation
+//!   requirement `w_a^k` and output data size `δ_a^k`; the chain reads an
+//!   input of size `δ_a^0` and writes a result of size `δ_a^{n_a}`.
+//! * **Platforms** (Section 3.2): `p` fully interconnected multi-modal
+//!   processors. Each processor owns a discrete set of speeds (modes); one
+//!   speed is selected per enrolled processor and is fixed for the whole
+//!   execution. Links have bandwidths; three platform classes are
+//!   distinguished (fully homogeneous, communication homogeneous, fully
+//!   heterogeneous).
+//! * **Mappings** (Section 3.3): one-to-one and interval mappings, with no
+//!   processor sharing across intervals or applications.
+//! * **Objectives** (Sections 3.4, 3.5): period (Eqs. 3 and 4 for the
+//!   overlap / no-overlap communication models), latency (Eq. 5), weighted
+//!   global aggregation (Eq. 6) and the energy model
+//!   `E(u) = E_stat(u) + s_u^α`.
+//!
+//! The crate also ships deterministic random instance generators
+//! ([`generator`]), the NP-hardness reduction gadgets used by the paper's
+//! proofs ([`gadgets`]), and the two Section 6 future-work extensions:
+//! replicated intervals ([`replication`]) and general mappings with
+//! processor sharing ([`sharing`]).
+
+pub mod application;
+pub mod energy;
+pub mod error;
+pub mod eval;
+pub mod gadgets;
+pub mod generator;
+pub mod io;
+pub mod mapping;
+pub mod num;
+pub mod objective;
+pub mod platform;
+pub mod replication;
+pub mod sharing;
+
+pub use application::{AppSet, Application, Stage};
+pub use energy::EnergyModel;
+pub use error::ModelError;
+pub use eval::{CommModel, Evaluation, Evaluator};
+pub use mapping::{Assignment, Interval, Mapping};
+pub use objective::{Aggregation, Thresholds};
+pub use platform::{Links, Platform, PlatformClass, Processor};
+
+/// Convenient prelude bringing the whole model vocabulary into scope.
+pub mod prelude {
+    pub use crate::application::{AppSet, Application, Stage};
+    pub use crate::energy::EnergyModel;
+    pub use crate::error::ModelError;
+    pub use crate::eval::{CommModel, Evaluation, Evaluator};
+    pub use crate::mapping::{Assignment, Interval, Mapping};
+    pub use crate::objective::{Aggregation, Thresholds};
+    pub use crate::platform::{Links, Platform, PlatformClass, Processor};
+}

@@ -1,0 +1,306 @@
+//! Mapping strategies (Section 3.3 of the paper).
+//!
+//! An **interval mapping** partitions the stages of every application into
+//! intervals of consecutive stages; each interval is executed by a distinct
+//! processor (no processor sharing, within or across applications). A
+//! **one-to-one mapping** is the special case where every interval holds a
+//! single stage. Each enrolled processor additionally selects one execution
+//! mode (speed), fixed for the whole run.
+
+use crate::application::AppSet;
+use crate::error::ModelError;
+use crate::platform::Platform;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// An interval `[first, last]` (0-based, inclusive) of consecutive stages of
+/// application `app`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Interval {
+    /// Application index `a`.
+    pub app: usize,
+    /// First stage of the interval (0-based).
+    pub first: usize,
+    /// Last stage of the interval (0-based, inclusive).
+    pub last: usize,
+}
+
+impl Interval {
+    /// Build an interval; panics if `first > last` (programming error).
+    pub fn new(app: usize, first: usize, last: usize) -> Self {
+        assert!(first <= last, "interval first must not exceed last");
+        Interval { app, first, last }
+    }
+
+    /// Number of stages in the interval.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.last - self.first + 1
+    }
+
+    /// Intervals are never empty (`first ≤ last` is enforced); provided for
+    /// `len`/`is_empty` API symmetry.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Whether the interval holds a single stage.
+    #[inline]
+    pub fn is_singleton(&self) -> bool {
+        self.first == self.last
+    }
+}
+
+/// One interval assigned to one processor running in one mode.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Assignment {
+    /// The stage interval.
+    pub interval: Interval,
+    /// The enrolled processor index `u`.
+    pub proc: usize,
+    /// The selected mode (0-based index into the processor's speed set).
+    pub mode: usize,
+}
+
+/// A complete mapping of all applications onto the platform.
+///
+/// Invariants (checked by [`Mapping::validate`]):
+/// * every stage of every application is covered by exactly one interval;
+/// * the intervals of an application are consecutive and in order;
+/// * no processor appears in two assignments (no sharing, Section 3.3);
+/// * every mode index is valid for its processor.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Mapping {
+    /// All interval assignments, in arbitrary order.
+    pub assignments: Vec<Assignment>,
+}
+
+impl Mapping {
+    /// Empty mapping (invalid until populated).
+    pub fn new() -> Self {
+        Mapping::default()
+    }
+
+    /// Add one assignment.
+    pub fn push(&mut self, interval: Interval, proc: usize, mode: usize) {
+        self.assignments.push(Assignment { interval, proc, mode });
+    }
+
+    /// Builder-style [`push`](Mapping::push).
+    pub fn with(mut self, interval: Interval, proc: usize, mode: usize) -> Self {
+        self.push(interval, proc, mode);
+        self
+    }
+
+    /// The assignments of application `a`, sorted by first stage.
+    pub fn app_chain(&self, app: usize) -> Vec<Assignment> {
+        let mut chain: Vec<Assignment> =
+            self.assignments.iter().copied().filter(|asg| asg.interval.app == app).collect();
+        chain.sort_by_key(|asg| asg.interval.first);
+        chain
+    }
+
+    /// Number of enrolled (used) processors.
+    pub fn enrolled(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// Iterator over `(proc, mode)` of enrolled processors.
+    pub fn enrolled_procs(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.assignments.iter().map(|a| (a.proc, a.mode))
+    }
+
+    /// Whether every interval is a singleton (one-to-one mapping).
+    pub fn is_one_to_one(&self) -> bool {
+        self.assignments.iter().all(|a| a.interval.is_singleton())
+    }
+
+    /// Validate all structural invariants against an application set and a
+    /// platform.
+    pub fn validate(&self, apps: &AppSet, platform: &Platform) -> Result<(), ModelError> {
+        let mut used = HashSet::new();
+        for asg in &self.assignments {
+            if asg.interval.app >= apps.a() {
+                return Err(ModelError::InvalidMapping {
+                    reason: format!("assignment references unknown application {}", asg.interval.app),
+                });
+            }
+            let n = apps.apps[asg.interval.app].n();
+            if asg.interval.last >= n {
+                return Err(ModelError::InvalidMapping {
+                    reason: format!(
+                        "interval [{}..{}] out of bounds for application {} ({} stages)",
+                        asg.interval.first, asg.interval.last, asg.interval.app, n
+                    ),
+                });
+            }
+            if asg.proc >= platform.p() {
+                return Err(ModelError::InvalidMapping {
+                    reason: format!("assignment references unknown processor {}", asg.proc),
+                });
+            }
+            if asg.mode >= platform.procs[asg.proc].modes() {
+                return Err(ModelError::InvalidMapping {
+                    reason: format!("mode {} out of range for processor {}", asg.mode, asg.proc),
+                });
+            }
+            if !used.insert(asg.proc) {
+                return Err(ModelError::InvalidMapping {
+                    reason: format!("processor {} is shared by two intervals", asg.proc),
+                });
+            }
+        }
+        // Coverage and consecutiveness per application.
+        for a in 0..apps.a() {
+            let chain = self.app_chain(a);
+            if chain.is_empty() {
+                return Err(ModelError::InvalidMapping {
+                    reason: format!("application {} is not mapped", a),
+                });
+            }
+            if chain[0].interval.first != 0 {
+                return Err(ModelError::InvalidMapping {
+                    reason: format!("application {}: first stage not covered", a),
+                });
+            }
+            for w in chain.windows(2) {
+                if w[1].interval.first != w[0].interval.last + 1 {
+                    return Err(ModelError::InvalidMapping {
+                        reason: format!(
+                            "application {}: gap or overlap between [{}..{}] and [{}..{}]",
+                            a,
+                            w[0].interval.first,
+                            w[0].interval.last,
+                            w[1].interval.first,
+                            w[1].interval.last
+                        ),
+                    });
+                }
+            }
+            let n = apps.apps[a].n();
+            if chain.last().expect("non-empty").interval.last != n - 1 {
+                return Err(ModelError::InvalidMapping {
+                    reason: format!("application {}: last stage not covered", a),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Rewrite every enrolled processor to run in its **highest** mode.
+    ///
+    /// When energy is not among the optimized criteria, running enrolled
+    /// processors as fast as possible can only improve period and latency
+    /// (Section 2), so performance-only solvers normalize mappings this way.
+    pub fn at_max_speed(mut self, platform: &Platform) -> Self {
+        for asg in &mut self.assignments {
+            asg.mode = platform.procs[asg.proc].modes() - 1;
+        }
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::application::Application;
+    use crate::platform::Processor;
+
+    fn setup() -> (AppSet, Platform) {
+        let a0 = Application::from_pairs(1.0, &[(3.0, 3.0), (2.0, 2.0), (1.0, 0.0)]);
+        let a1 = Application::from_pairs(0.0, &[(2.0, 1.0), (6.0, 1.0)]);
+        let apps = AppSet::new(vec![a0, a1]).unwrap();
+        let platform = Platform::comm_homogeneous(
+            vec![
+                Processor::new(vec![3.0, 6.0]).unwrap(),
+                Processor::new(vec![6.0, 8.0]).unwrap(),
+                Processor::new(vec![1.0, 6.0]).unwrap(),
+            ],
+            1.0,
+        )
+        .unwrap();
+        (apps, platform)
+    }
+
+    #[test]
+    fn valid_interval_mapping() {
+        let (apps, pf) = setup();
+        let m = Mapping::new()
+            .with(Interval::new(0, 0, 2), 2, 1)
+            .with(Interval::new(1, 0, 0), 1, 0)
+            .with(Interval::new(1, 1, 1), 0, 1);
+        assert!(m.validate(&apps, &pf).is_ok());
+        assert!(!m.is_one_to_one());
+        assert_eq!(m.enrolled(), 3);
+    }
+
+    #[test]
+    fn rejects_processor_sharing() {
+        let (apps, pf) = setup();
+        let m = Mapping::new()
+            .with(Interval::new(0, 0, 2), 0, 0)
+            .with(Interval::new(1, 0, 1), 0, 0);
+        let err = m.validate(&apps, &pf).unwrap_err();
+        assert!(err.to_string().contains("shared"));
+    }
+
+    #[test]
+    fn rejects_gaps_and_partial_coverage() {
+        let (apps, pf) = setup();
+        // App 0 missing stage 2.
+        let m = Mapping::new()
+            .with(Interval::new(0, 0, 1), 0, 0)
+            .with(Interval::new(1, 0, 1), 1, 0);
+        assert!(m.validate(&apps, &pf).is_err());
+        // Gap between intervals of app 1.
+        let m = Mapping::new()
+            .with(Interval::new(0, 0, 2), 0, 0)
+            .with(Interval::new(1, 0, 0), 1, 0)
+            .with(Interval::new(1, 1, 1), 2, 0);
+        assert!(m.validate(&apps, &pf).is_ok());
+        let m = Mapping::new()
+            .with(Interval::new(0, 0, 2), 0, 0)
+            .with(Interval::new(1, 1, 1), 2, 0);
+        assert!(m.validate(&apps, &pf).is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_indices() {
+        let (apps, pf) = setup();
+        let m = Mapping::new().with(Interval::new(5, 0, 0), 0, 0);
+        assert!(m.validate(&apps, &pf).is_err());
+        let m = Mapping::new().with(Interval::new(0, 0, 9), 0, 0);
+        assert!(m.validate(&apps, &pf).is_err());
+        let m = Mapping::new().with(Interval::new(0, 0, 2), 9, 0);
+        assert!(m.validate(&apps, &pf).is_err());
+        let m = Mapping::new().with(Interval::new(0, 0, 2), 0, 9);
+        assert!(m.validate(&apps, &pf).is_err());
+    }
+
+    #[test]
+    fn unmapped_application_rejected() {
+        let (apps, pf) = setup();
+        let m = Mapping::new().with(Interval::new(0, 0, 2), 0, 0);
+        let err = m.validate(&apps, &pf).unwrap_err();
+        assert!(err.to_string().contains("not mapped"));
+    }
+
+    #[test]
+    fn max_speed_normalization() {
+        let (_, pf) = setup();
+        let m = Mapping::new().with(Interval::new(0, 0, 2), 2, 0).at_max_speed(&pf);
+        assert_eq!(m.assignments[0].mode, 1);
+    }
+
+    #[test]
+    fn one_to_one_detection_and_chain_order() {
+        let m = Mapping::new()
+            .with(Interval::new(0, 1, 1), 1, 0)
+            .with(Interval::new(0, 0, 0), 0, 0)
+            .with(Interval::new(0, 2, 2), 2, 0);
+        assert!(m.is_one_to_one());
+        let chain = m.app_chain(0);
+        assert_eq!(chain.iter().map(|a| a.interval.first).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+}

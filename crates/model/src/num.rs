@@ -1,0 +1,132 @@
+//! Floating-point comparison helpers.
+//!
+//! All quantities in the model (computation requirements `w`, data sizes
+//! `δ`, speeds `s`, bandwidths `b`) are `f64`. The paper's algorithms binary
+//! search over *finite candidate sets* of objective values that are computed
+//! by fixed closed-form expressions; feasibility probes then compare
+//! quantities produced by the *same* expressions, so a small relative
+//! tolerance is sufficient for robustness. Every tolerance-sensitive
+//! comparison in the workspace goes through this module so the policy lives
+//! in one place.
+
+/// Relative/absolute tolerance used by feasibility probes.
+pub const EPS: f64 = 1e-9;
+
+/// `a <= b` up to the shared tolerance.
+///
+/// Uses a mixed absolute/relative criterion: the slack grows with the
+/// magnitude of the operands so that large objective values (long pipelines,
+/// slow processors) do not produce spurious infeasibility.
+#[inline]
+pub fn le(a: f64, b: f64) -> bool {
+    if a.is_infinite() || b.is_infinite() {
+        return a <= b;
+    }
+    a <= b + EPS * (1.0 + a.abs().max(b.abs()))
+}
+
+/// `a >= b` up to the shared tolerance.
+#[inline]
+pub fn ge(a: f64, b: f64) -> bool {
+    le(b, a)
+}
+
+/// `a == b` up to the shared tolerance.
+#[inline]
+pub fn approx_eq(a: f64, b: f64) -> bool {
+    if a.is_infinite() || b.is_infinite() {
+        return a == b;
+    }
+    (a - b).abs() <= EPS * (1.0 + a.abs().max(b.abs()))
+}
+
+/// Strictly less, with tolerance (`a < b` and not `approx_eq`).
+#[inline]
+pub fn lt(a: f64, b: f64) -> bool {
+    a < b && !approx_eq(a, b)
+}
+
+/// Sort a candidate-value array ascending and remove duplicates (up to the
+/// shared tolerance). Used to build the candidate sets `T` and `L` of
+/// Theorems 1, 12 and 15 before binary searching them.
+pub fn sorted_candidates(mut values: Vec<f64>) -> Vec<f64> {
+    values.retain(|v| v.is_finite());
+    values.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    values.dedup_by(|a, b| approx_eq(*a, *b));
+    values
+}
+
+/// Minimum of two floats where `NaN` never wins (used when folding
+/// objective values that may contain `f64::INFINITY` sentinels).
+#[inline]
+pub fn fmin(a: f64, b: f64) -> f64 {
+    if a < b {
+        a
+    } else {
+        b
+    }
+}
+
+/// Maximum counterpart of [`fmin`].
+#[inline]
+pub fn fmax(a: f64, b: f64) -> f64 {
+    if a > b {
+        a
+    } else {
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn le_is_tolerant() {
+        assert!(le(1.0 + 1e-12, 1.0));
+        assert!(le(1.0, 1.0));
+        assert!(!le(1.0 + 1e-6, 1.0));
+    }
+
+    #[test]
+    fn le_scales_with_magnitude() {
+        let big = 1e12;
+        assert!(le(big * (1.0 + 1e-11), big));
+        assert!(!le(big * (1.0 + 1e-6), big));
+    }
+
+    #[test]
+    fn le_handles_infinities() {
+        assert!(!le(f64::INFINITY, 1.0));
+        assert!(le(1.0, f64::INFINITY));
+        assert!(le(f64::INFINITY, f64::INFINITY));
+        assert!(!ge(1.0, f64::INFINITY));
+        assert!(ge(f64::INFINITY, 1.0));
+    }
+
+    #[test]
+    fn approx_eq_handles_infinities() {
+        assert!(approx_eq(f64::INFINITY, f64::INFINITY));
+        assert!(!approx_eq(f64::INFINITY, 1.0));
+        assert!(!approx_eq(1.0, f64::INFINITY));
+    }
+
+    #[test]
+    fn sorted_candidates_dedups() {
+        let c = sorted_candidates(vec![3.0, 1.0, 1.0 + 1e-13, 2.0, f64::INFINITY]);
+        assert_eq!(c, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn fmin_fmax_ignore_nan_ordering() {
+        assert_eq!(fmin(1.0, 2.0), 1.0);
+        assert_eq!(fmax(1.0, 2.0), 2.0);
+        assert_eq!(fmin(f64::INFINITY, 2.0), 2.0);
+    }
+
+    #[test]
+    fn lt_is_strict() {
+        assert!(lt(1.0, 2.0));
+        assert!(!lt(1.0, 1.0 + 1e-13));
+    }
+}

@@ -1,0 +1,199 @@
+//! Global objective aggregation and multi-criteria thresholds.
+//!
+//! The paper aggregates per-application values as `X = max_a W_a · X_a`
+//! (Eq. 6), where the weights can be 1 (plain maximum), a priority ratio
+//! fixed by the platform manager, or `1/X_a*` with `X_a*` the value the
+//! application would achieve alone on the platform — in which case `X` is
+//! the *maximum stretch* of Bender et al.
+//!
+//! Multi-criteria problems are handled with thresholds: one criterion is
+//! optimized while the others are bounded (the "laptop" and "server"
+//! problems of the introduction). [`Thresholds`] carries the per-application
+//! period/latency bounds and the global energy budget.
+
+use crate::application::AppSet;
+use crate::num::fmax;
+use serde::{Deserialize, Serialize};
+
+/// How per-application weights are chosen for Eq. (6).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Aggregation {
+    /// `W_a = 1` for all applications (plain maximum).
+    Max,
+    /// Explicit priority ratios.
+    Weighted(Vec<f64>),
+    /// `W_a = 1 / X_a*` where `X_a*` is a supplied per-application reference
+    /// (value achieved alone on the platform): maximum-stretch objective.
+    Stretch(Vec<f64>),
+}
+
+impl Aggregation {
+    /// Materialize the weight vector for `A` applications.
+    pub fn weights(&self, a: usize) -> Vec<f64> {
+        match self {
+            Aggregation::Max => vec![1.0; a],
+            Aggregation::Weighted(w) => {
+                assert_eq!(w.len(), a, "weight vector length must equal A");
+                w.clone()
+            }
+            Aggregation::Stretch(reference) => {
+                assert_eq!(reference.len(), a, "reference vector length must equal A");
+                reference.iter().map(|x| 1.0 / x).collect()
+            }
+        }
+    }
+
+    /// Install the weights into an application set.
+    pub fn apply(&self, apps: &mut AppSet) {
+        let weights = self.weights(apps.apps.len());
+        for (app, w) in apps.apps.iter_mut().zip(weights) {
+            app.weight = w;
+        }
+    }
+
+    /// Aggregate per-application values.
+    pub fn aggregate(&self, values: &[f64]) -> f64 {
+        self.weights(values.len())
+            .iter()
+            .zip(values)
+            .map(|(w, x)| w * x)
+            .fold(0.0, fmax)
+    }
+}
+
+/// Threshold bundle for multi-criteria optimization.
+///
+/// "Fixing the period or the latency means fixing a threshold on the period
+/// or latency of each application, thus providing a table of period or
+/// latency values. For the energy, only a bound on the global energy
+/// consumption is required." (Section 5.)
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Thresholds {
+    /// Per-application period bounds `T_a ≤ …` (empty = unconstrained).
+    pub period: Option<Vec<f64>>,
+    /// Per-application latency bounds `L_a ≤ …` (empty = unconstrained).
+    pub latency: Option<Vec<f64>>,
+    /// Global energy budget.
+    pub energy: Option<f64>,
+}
+
+impl Thresholds {
+    /// No constraint at all.
+    pub fn none() -> Self {
+        Thresholds::default()
+    }
+
+    /// A uniform period bound for all `a` applications.
+    pub fn uniform_period(bound: f64, a: usize) -> Self {
+        Thresholds { period: Some(vec![bound; a]), ..Default::default() }
+    }
+
+    /// A uniform latency bound for all `a` applications.
+    pub fn uniform_latency(bound: f64, a: usize) -> Self {
+        Thresholds { latency: Some(vec![bound; a]), ..Default::default() }
+    }
+
+    /// Attach per-application period bounds.
+    pub fn with_period(mut self, bounds: Vec<f64>) -> Self {
+        self.period = Some(bounds);
+        self
+    }
+
+    /// Attach per-application latency bounds.
+    pub fn with_latency(mut self, bounds: Vec<f64>) -> Self {
+        self.latency = Some(bounds);
+        self
+    }
+
+    /// Attach a global energy budget.
+    pub fn with_energy(mut self, budget: f64) -> Self {
+        self.energy = Some(budget);
+        self
+    }
+
+    /// Check a full evaluation against the thresholds (with tolerance).
+    pub fn satisfied_by(&self, periods: &[f64], latencies: &[f64], energy: f64) -> bool {
+        if let Some(tb) = &self.period {
+            if periods.iter().zip(tb).any(|(t, b)| !crate::num::le(*t, *b)) {
+                return false;
+            }
+        }
+        if let Some(lb) = &self.latency {
+            if latencies.iter().zip(lb).any(|(l, b)| !crate::num::le(*l, *b)) {
+                return false;
+            }
+        }
+        if let Some(eb) = self.energy {
+            if !crate::num::le(energy, eb) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::application::Application;
+
+    #[test]
+    fn max_aggregation() {
+        let agg = Aggregation::Max;
+        assert_eq!(agg.aggregate(&[1.0, 3.0, 2.0]), 3.0);
+    }
+
+    #[test]
+    fn weighted_aggregation() {
+        let agg = Aggregation::Weighted(vec![2.0, 1.0]);
+        assert_eq!(agg.aggregate(&[2.0, 3.0]), 4.0);
+    }
+
+    #[test]
+    fn stretch_aggregation() {
+        // References are the values alone on the platform; a value equal to
+        // its reference has stretch 1.
+        let agg = Aggregation::Stretch(vec![2.0, 4.0]);
+        assert_eq!(agg.aggregate(&[2.0, 4.0]), 1.0);
+        assert_eq!(agg.aggregate(&[2.0, 8.0]), 2.0);
+    }
+
+    #[test]
+    fn apply_installs_weights() {
+        let mut apps = AppSet::new(vec![
+            Application::from_pairs(0.0, &[(1.0, 0.0)]),
+            Application::from_pairs(0.0, &[(1.0, 0.0)]),
+        ])
+        .unwrap();
+        Aggregation::Weighted(vec![3.0, 7.0]).apply(&mut apps);
+        assert_eq!(apps.apps[0].weight, 3.0);
+        assert_eq!(apps.apps[1].weight, 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "length must equal A")]
+    fn weight_length_mismatch_panics() {
+        Aggregation::Weighted(vec![1.0]).aggregate(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn thresholds_checks() {
+        let th = Thresholds::none()
+            .with_period(vec![2.0, 2.0])
+            .with_latency(vec![5.0, 5.0])
+            .with_energy(50.0);
+        assert!(th.satisfied_by(&[2.0, 1.0], &[5.0, 4.0], 50.0));
+        assert!(!th.satisfied_by(&[2.1, 1.0], &[5.0, 4.0], 50.0));
+        assert!(!th.satisfied_by(&[2.0, 1.0], &[5.0, 5.5], 50.0));
+        assert!(!th.satisfied_by(&[2.0, 1.0], &[5.0, 4.0], 51.0));
+        assert!(Thresholds::none().satisfied_by(&[9.0], &[9.0], 9e9));
+    }
+
+    #[test]
+    fn uniform_constructors() {
+        let th = Thresholds::uniform_period(2.0, 3);
+        assert_eq!(th.period, Some(vec![2.0, 2.0, 2.0]));
+        let th = Thresholds::uniform_latency(4.0, 2);
+        assert_eq!(th.latency, Some(vec![4.0, 4.0]));
+    }
+}

@@ -1,0 +1,395 @@
+//! Replicated interval mappings — the Section 6 extension.
+//!
+//! The paper's future work: *"we envision to add replication into the
+//! mappings: a stage could be mapped onto several processors, each in
+//! charge of different data sets, in order to improve the period, as was
+//! investigated in [4]."*
+//!
+//! Following Benoit & Robert (Algorithmica 2009, reference [4]), a
+//! replicated interval is executed by `r ≥ 1` processors in round-robin:
+//! replica `j` processes data sets `j, j+r, j+2r, …`. Consequences:
+//!
+//! * **Period** — each replica sees every `r`-th data set, so the interval
+//!   sustains one data set every `cycle / r` time units; with heterogeneous
+//!   replica speeds the round-robin is paced by the *slowest* replica
+//!   (data sets must leave in order), giving
+//!   `T = C(δ_in/b, w/s_min, δ_out/b) / r`.
+//! * **Latency** — an individual data set is processed by a single replica,
+//!   so replication does not reduce latency; the worst case goes through
+//!   the slowest replica.
+//! * **Energy** — every enrolled replica pays its full static + dynamic
+//!   energy: replication buys throughput with energy, the key trade-off
+//!   the benches quantify.
+
+use crate::application::AppSet;
+use crate::energy::EnergyModel;
+use crate::error::ModelError;
+use crate::eval::CommModel;
+use crate::mapping::Interval;
+use crate::num::fmax;
+use crate::platform::Platform;
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+
+/// One interval replicated over one or more processors.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplicatedAssignment {
+    /// The stage interval.
+    pub interval: Interval,
+    /// The replica processors (all distinct).
+    pub procs: Vec<usize>,
+    /// Selected mode per replica (parallel to `procs`).
+    pub modes: Vec<usize>,
+}
+
+impl ReplicatedAssignment {
+    /// Replication factor `r`.
+    pub fn r(&self) -> usize {
+        self.procs.len()
+    }
+}
+
+/// A mapping whose intervals may be replicated.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ReplicatedMapping {
+    /// All replicated interval assignments.
+    pub assignments: Vec<ReplicatedAssignment>,
+}
+
+impl ReplicatedMapping {
+    /// Empty mapping.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an assignment.
+    pub fn push(&mut self, interval: Interval, procs: Vec<usize>, modes: Vec<usize>) {
+        assert_eq!(procs.len(), modes.len(), "one mode per replica");
+        self.assignments.push(ReplicatedAssignment { interval, procs, modes });
+    }
+
+    /// Builder-style [`push`](Self::push).
+    pub fn with(mut self, interval: Interval, procs: Vec<usize>, modes: Vec<usize>) -> Self {
+        self.push(interval, procs, modes);
+        self
+    }
+
+    /// View an ordinary [`crate::mapping::Mapping`] as a replicated mapping
+    /// (all factors 1).
+    pub fn from_plain(mapping: &crate::mapping::Mapping) -> Self {
+        let mut out = Self::new();
+        for asg in &mapping.assignments {
+            out.push(asg.interval, vec![asg.proc], vec![asg.mode]);
+        }
+        out
+    }
+
+    /// The assignments of application `a`, in chain order.
+    pub fn app_chain(&self, app: usize) -> Vec<&ReplicatedAssignment> {
+        let mut chain: Vec<&ReplicatedAssignment> =
+            self.assignments.iter().filter(|asg| asg.interval.app == app).collect();
+        chain.sort_by_key(|asg| asg.interval.first);
+        chain
+    }
+
+    /// Total number of enrolled processors (over all replicas).
+    pub fn enrolled(&self) -> usize {
+        self.assignments.iter().map(|a| a.procs.len()).sum()
+    }
+
+    /// Validate: coverage/consecutiveness per application, distinct
+    /// processors globally, valid modes, `r ≥ 1`.
+    pub fn validate(&self, apps: &AppSet, platform: &Platform) -> Result<(), ModelError> {
+        let mut used = HashSet::new();
+        for asg in &self.assignments {
+            if asg.procs.is_empty() {
+                return Err(ModelError::InvalidMapping {
+                    reason: "an interval needs at least one replica".into(),
+                });
+            }
+            if asg.procs.len() != asg.modes.len() {
+                return Err(ModelError::InvalidMapping {
+                    reason: "one mode per replica required".into(),
+                });
+            }
+            if asg.interval.app >= apps.a() {
+                return Err(ModelError::InvalidMapping {
+                    reason: format!("unknown application {}", asg.interval.app),
+                });
+            }
+            let n = apps.apps[asg.interval.app].n();
+            if asg.interval.last >= n {
+                return Err(ModelError::InvalidMapping {
+                    reason: format!("interval out of bounds for application {}", asg.interval.app),
+                });
+            }
+            for (&u, &m) in asg.procs.iter().zip(&asg.modes) {
+                if u >= platform.p() {
+                    return Err(ModelError::InvalidMapping {
+                        reason: format!("unknown processor {u}"),
+                    });
+                }
+                if m >= platform.procs[u].modes() {
+                    return Err(ModelError::InvalidMapping {
+                        reason: format!("mode {m} out of range for processor {u}"),
+                    });
+                }
+                if !used.insert(u) {
+                    return Err(ModelError::InvalidMapping {
+                        reason: format!("processor {u} used twice"),
+                    });
+                }
+            }
+        }
+        for a in 0..apps.a() {
+            let chain = self.app_chain(a);
+            if chain.is_empty() {
+                return Err(ModelError::InvalidMapping {
+                    reason: format!("application {a} is not mapped"),
+                });
+            }
+            if chain[0].interval.first != 0
+                || chain.last().expect("non-empty").interval.last != apps.apps[a].n() - 1
+            {
+                return Err(ModelError::InvalidMapping {
+                    reason: format!("application {a} not fully covered"),
+                });
+            }
+            for w in chain.windows(2) {
+                if w[1].interval.first != w[0].interval.last + 1 {
+                    return Err(ModelError::InvalidMapping {
+                        reason: format!("application {a}: gap between intervals"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Evaluator for replicated mappings.
+pub struct ReplicatedEvaluator<'m> {
+    apps: &'m AppSet,
+    platform: &'m Platform,
+    energy: EnergyModel,
+}
+
+impl<'m> ReplicatedEvaluator<'m> {
+    /// Build with the default energy model.
+    pub fn new(apps: &'m AppSet, platform: &'m Platform) -> Self {
+        ReplicatedEvaluator { apps, platform, energy: EnergyModel::default() }
+    }
+
+    /// Slowest replica speed of an assignment.
+    fn min_speed(&self, asg: &ReplicatedAssignment) -> f64 {
+        asg.procs
+            .iter()
+            .zip(&asg.modes)
+            .map(|(&u, &m)| self.platform.procs[u].speed(m))
+            .fold(f64::INFINITY, crate::num::fmin)
+    }
+
+    /// Worst-case bandwidth between two replicated assignments (any replica
+    /// pair may carry a given data set).
+    fn min_bw(&self, app: usize, from: &ReplicatedAssignment, to: &ReplicatedAssignment) -> f64 {
+        let mut b = f64::INFINITY;
+        for &u in &from.procs {
+            for &v in &to.procs {
+                b = crate::num::fmin(b, self.platform.bw_inter(app, u, v));
+            }
+        }
+        b
+    }
+
+    /// Period `T_a` of application `app` under replication.
+    pub fn app_period(&self, mapping: &ReplicatedMapping, app: usize, model: CommModel) -> f64 {
+        let chain = mapping.app_chain(app);
+        let application = &self.apps.apps[app];
+        let m = chain.len();
+        let mut period = 0.0f64;
+        for (j, asg) in chain.iter().enumerate() {
+            let s = self.min_speed(asg);
+            let bw_in = if j == 0 {
+                asg.procs
+                    .iter()
+                    .map(|&u| self.platform.bw_input(app, u))
+                    .fold(f64::INFINITY, crate::num::fmin)
+            } else {
+                self.min_bw(app, chain[j - 1], asg)
+            };
+            let bw_out = if j == m - 1 {
+                asg.procs
+                    .iter()
+                    .map(|&u| self.platform.bw_output(app, u))
+                    .fold(f64::INFINITY, crate::num::fmin)
+            } else {
+                self.min_bw(app, asg, chain[j + 1])
+            };
+            let incoming = application.input_of(asg.interval.first) / bw_in;
+            let compute =
+                application.interval_work(asg.interval.first, asg.interval.last) / s;
+            let outgoing = application.output_of(asg.interval.last) / bw_out;
+            let cycle = model.combine(incoming, compute, outgoing) / asg.r() as f64;
+            period = fmax(period, cycle);
+        }
+        period
+    }
+
+    /// Latency `L_a` (replication does not help; worst replica path).
+    pub fn app_latency(&self, mapping: &ReplicatedMapping, app: usize) -> f64 {
+        let chain = mapping.app_chain(app);
+        let application = &self.apps.apps[app];
+        let m = chain.len();
+        let mut latency = 0.0;
+        for (j, asg) in chain.iter().enumerate() {
+            let s = self.min_speed(asg);
+            if j == 0 {
+                let bw_in = asg
+                    .procs
+                    .iter()
+                    .map(|&u| self.platform.bw_input(app, u))
+                    .fold(f64::INFINITY, crate::num::fmin);
+                latency += application.input_of(0) / bw_in;
+            }
+            latency += application.interval_work(asg.interval.first, asg.interval.last) / s;
+            let bw_out = if j == m - 1 {
+                asg.procs
+                    .iter()
+                    .map(|&u| self.platform.bw_output(app, u))
+                    .fold(f64::INFINITY, crate::num::fmin)
+            } else {
+                self.min_bw(app, asg, chain[j + 1])
+            };
+            latency += application.output_of(asg.interval.last) / bw_out;
+        }
+        latency
+    }
+
+    /// Global weighted period.
+    pub fn period(&self, mapping: &ReplicatedMapping, model: CommModel) -> f64 {
+        (0..self.apps.a())
+            .map(|a| self.apps.apps[a].weight * self.app_period(mapping, a, model))
+            .fold(0.0, fmax)
+    }
+
+    /// Global weighted latency.
+    pub fn latency(&self, mapping: &ReplicatedMapping) -> f64 {
+        (0..self.apps.a())
+            .map(|a| self.apps.apps[a].weight * self.app_latency(mapping, a))
+            .fold(0.0, fmax)
+    }
+
+    /// Total energy: every replica pays.
+    pub fn energy(&self, mapping: &ReplicatedMapping) -> f64 {
+        mapping
+            .assignments
+            .iter()
+            .flat_map(|asg| asg.procs.iter().zip(&asg.modes))
+            .map(|(&u, &m)| self.energy.proc_energy(self.platform, u, m))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::application::Application;
+    use crate::eval::Evaluator;
+    use crate::mapping::Mapping;
+    use crate::platform::Platform;
+
+    fn setup() -> (AppSet, Platform) {
+        let app = Application::from_pairs(1.0, &[(8.0, 2.0), (4.0, 1.0)]);
+        let apps = AppSet::single(app);
+        let pf = Platform::fully_homogeneous(4, vec![1.0, 2.0], 1.0).unwrap();
+        (apps, pf)
+    }
+
+    #[test]
+    fn factor_one_matches_plain_evaluation() {
+        let (apps, pf) = setup();
+        let plain = Mapping::new()
+            .with(Interval::new(0, 0, 0), 0, 1)
+            .with(Interval::new(0, 1, 1), 1, 1);
+        let repl = ReplicatedMapping::from_plain(&plain);
+        repl.validate(&apps, &pf).unwrap();
+        let ev = Evaluator::new(&apps, &pf);
+        let rev = ReplicatedEvaluator::new(&apps, &pf);
+        for model in CommModel::ALL {
+            assert_eq!(ev.period(&plain, model), rev.period(&repl, model));
+        }
+        assert_eq!(ev.latency(&plain), rev.latency(&repl));
+        assert_eq!(ev.energy(&plain), rev.energy(&repl));
+    }
+
+    #[test]
+    fn replication_divides_the_compute_cycle() {
+        let (apps, pf) = setup();
+        // Interval [0,0] (work 8) on two replicas at speed 2:
+        // cycle = max(1, 8/2, 2)/2 = 2.
+        let m = ReplicatedMapping::new()
+            .with(Interval::new(0, 0, 0), vec![0, 1], vec![1, 1])
+            .with(Interval::new(0, 1, 1), vec![2], vec![1]);
+        m.validate(&apps, &pf).unwrap();
+        let rev = ReplicatedEvaluator::new(&apps, &pf);
+        assert!((rev.app_period(&m, 0, CommModel::Overlap) - 2.0).abs() < 1e-12);
+        // Unreplicated the same split gives max(4, 2) = 4.
+        let plain = ReplicatedMapping::new()
+            .with(Interval::new(0, 0, 0), vec![0], vec![1])
+            .with(Interval::new(0, 1, 1), vec![2], vec![1]);
+        assert!((rev.app_period(&plain, 0, CommModel::Overlap) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn replication_does_not_reduce_latency_but_costs_energy() {
+        let (apps, pf) = setup();
+        let repl = ReplicatedMapping::new()
+            .with(Interval::new(0, 0, 0), vec![0, 1], vec![1, 1])
+            .with(Interval::new(0, 1, 1), vec![2], vec![1]);
+        let plain = ReplicatedMapping::new()
+            .with(Interval::new(0, 0, 0), vec![0], vec![1])
+            .with(Interval::new(0, 1, 1), vec![2], vec![1]);
+        let rev = ReplicatedEvaluator::new(&apps, &pf);
+        assert_eq!(rev.latency(&repl), rev.latency(&plain));
+        assert!(rev.energy(&repl) > rev.energy(&plain));
+        assert_eq!(rev.energy(&repl), 4.0 + 4.0 + 4.0);
+    }
+
+    #[test]
+    fn slowest_replica_paces_the_round_robin() {
+        let (apps, pf) = setup();
+        // Replicas at speeds 2 and 1: min speed 1; cycle = max(1, 8/1, 2)/2 = 4.
+        let m = ReplicatedMapping::new()
+            .with(Interval::new(0, 0, 0), vec![0, 1], vec![1, 0])
+            .with(Interval::new(0, 1, 1), vec![2], vec![1]);
+        let rev = ReplicatedEvaluator::new(&apps, &pf);
+        assert!((rev.app_period(&m, 0, CommModel::Overlap) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_rejects_replica_reuse_and_bad_shapes() {
+        let (apps, pf) = setup();
+        let m = ReplicatedMapping::new()
+            .with(Interval::new(0, 0, 0), vec![0, 0], vec![1, 1])
+            .with(Interval::new(0, 1, 1), vec![2], vec![1]);
+        assert!(m.validate(&apps, &pf).is_err());
+        let m = ReplicatedMapping::new()
+            .with(Interval::new(0, 0, 1), vec![], vec![]);
+        assert!(m.validate(&apps, &pf).is_err());
+        let mut m = ReplicatedMapping::new();
+        m.assignments.push(ReplicatedAssignment {
+            interval: Interval::new(0, 0, 1),
+            procs: vec![0],
+            modes: vec![9],
+        });
+        assert!(m.validate(&apps, &pf).is_err());
+    }
+
+    #[test]
+    fn enrolled_counts_all_replicas() {
+        let m = ReplicatedMapping::new()
+            .with(Interval::new(0, 0, 0), vec![0, 1, 2], vec![0, 0, 0])
+            .with(Interval::new(0, 1, 1), vec![3], vec![0]);
+        assert_eq!(m.enrolled(), 4);
+    }
+}

@@ -1,0 +1,397 @@
+//! General mappings with processor sharing — the other Section 6 extension.
+//!
+//! The paper restricts itself to mappings without processor re-use and
+//! notes (Section 3.3) that *general* mappings, where a processor may
+//! execute any number of intervals from one or several applications,
+//! "immediately lead to NP-hard optimization problems, even for the
+//! simplest mono-criterion problem: period minimization for a single
+//! application mapped onto homogeneous and uni-modal processors, paying no
+//! communication cost (straightforward reduction from 2-partition)", and
+//! defers "the impact of processor sharing" to future work.
+//!
+//! This module implements that extension:
+//!
+//! * [`GeneralMapping`] — intervals may share processors; a shared
+//!   processor time-multiplexes its intervals, so its cycle-time is the
+//!   *sum* of the interval demands (the processor must serve every
+//!   interval once per period);
+//! * an evaluator for period/latency/energy under sharing;
+//! * the 2-PARTITION reduction the paper sketches
+//!   ([`sharing_gadget_encode`]), ready for the exact solvers to certify.
+
+use crate::application::AppSet;
+use crate::energy::EnergyModel;
+use crate::error::ModelError;
+use crate::eval::CommModel;
+use crate::gadgets::TwoPartition;
+use crate::mapping::Interval;
+use crate::num::fmax;
+use crate::platform::{Links, Platform, Processor};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// One interval on one processor (sharing allowed across assignments).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SharedAssignment {
+    /// The stage interval.
+    pub interval: Interval,
+    /// The executing processor.
+    pub proc: usize,
+    /// The selected mode (one speed per processor for the whole run, so all
+    /// intervals of a processor must agree — validated).
+    pub mode: usize,
+}
+
+/// A general mapping: interval structure per application, but processors
+/// may be re-used across intervals and applications.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct GeneralMapping {
+    /// All assignments.
+    pub assignments: Vec<SharedAssignment>,
+}
+
+impl GeneralMapping {
+    /// Empty mapping.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an assignment.
+    pub fn push(&mut self, interval: Interval, proc: usize, mode: usize) {
+        self.assignments.push(SharedAssignment { interval, proc, mode });
+    }
+
+    /// Builder-style [`push`](Self::push).
+    pub fn with(mut self, interval: Interval, proc: usize, mode: usize) -> Self {
+        self.push(interval, proc, mode);
+        self
+    }
+
+    /// The assignments of application `a`, in chain order.
+    pub fn app_chain(&self, app: usize) -> Vec<SharedAssignment> {
+        let mut chain: Vec<SharedAssignment> =
+            self.assignments.iter().copied().filter(|x| x.interval.app == app).collect();
+        chain.sort_by_key(|x| x.interval.first);
+        chain
+    }
+
+    /// Distinct enrolled processors.
+    pub fn enrolled_procs(&self) -> Vec<(usize, usize)> {
+        let mut seen: HashMap<usize, usize> = HashMap::new();
+        for asg in &self.assignments {
+            seen.entry(asg.proc).or_insert(asg.mode);
+        }
+        let mut v: Vec<(usize, usize)> = seen.into_iter().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Validate: per-app interval coverage, consistent per-processor modes,
+    /// index ranges. Sharing is allowed — that is the point.
+    pub fn validate(&self, apps: &AppSet, platform: &Platform) -> Result<(), ModelError> {
+        let mut proc_mode: HashMap<usize, usize> = HashMap::new();
+        for asg in &self.assignments {
+            if asg.interval.app >= apps.a() {
+                return Err(ModelError::InvalidMapping {
+                    reason: format!("unknown application {}", asg.interval.app),
+                });
+            }
+            if asg.interval.last >= apps.apps[asg.interval.app].n() {
+                return Err(ModelError::InvalidMapping { reason: "interval out of bounds".into() });
+            }
+            if asg.proc >= platform.p() {
+                return Err(ModelError::InvalidMapping {
+                    reason: format!("unknown processor {}", asg.proc),
+                });
+            }
+            if asg.mode >= platform.procs[asg.proc].modes() {
+                return Err(ModelError::InvalidMapping {
+                    reason: format!("mode {} out of range for processor {}", asg.mode, asg.proc),
+                });
+            }
+            // One fixed speed per processor for the whole execution
+            // (Section 3.2): all its intervals must agree.
+            if let Some(&m) = proc_mode.get(&asg.proc) {
+                if m != asg.mode {
+                    return Err(ModelError::InvalidMapping {
+                        reason: format!("processor {} used at two different modes", asg.proc),
+                    });
+                }
+            } else {
+                proc_mode.insert(asg.proc, asg.mode);
+            }
+        }
+        for a in 0..apps.a() {
+            let chain = self.app_chain(a);
+            if chain.is_empty() {
+                return Err(ModelError::InvalidMapping {
+                    reason: format!("application {a} is not mapped"),
+                });
+            }
+            if chain[0].interval.first != 0
+                || chain.last().expect("non-empty").interval.last != apps.apps[a].n() - 1
+            {
+                return Err(ModelError::InvalidMapping {
+                    reason: format!("application {a} not fully covered"),
+                });
+            }
+            for w in chain.windows(2) {
+                if w[1].interval.first != w[0].interval.last + 1 {
+                    return Err(ModelError::InvalidMapping {
+                        reason: format!("application {a}: interval gap/overlap"),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Evaluator for general mappings.
+///
+/// A shared processor serves each of its intervals once per period, so the
+/// per-processor cycle-time *sums* the interval demands; under overlap the
+/// three operation streams (receive / compute / send) each sum separately
+/// and the cycle is their max, under no-overlap everything is serialized.
+pub struct GeneralEvaluator<'m> {
+    apps: &'m AppSet,
+    platform: &'m Platform,
+    energy: EnergyModel,
+}
+
+impl<'m> GeneralEvaluator<'m> {
+    /// Build with the default energy model.
+    pub fn new(apps: &'m AppSet, platform: &'m Platform) -> Self {
+        GeneralEvaluator { apps, platform, energy: EnergyModel::default() }
+    }
+
+    /// The three per-interval operation times of an assignment, given its
+    /// chain context.
+    fn interval_ops(&self, mapping: &GeneralMapping, asg: &SharedAssignment) -> (f64, f64, f64) {
+        let a = asg.interval.app;
+        let app = &self.apps.apps[a];
+        let chain = mapping.app_chain(a);
+        let j = chain
+            .iter()
+            .position(|x| x.interval == asg.interval)
+            .expect("assignment belongs to the chain");
+        let speed = self.platform.procs[asg.proc].speed(asg.mode);
+        let bw_in = if j == 0 {
+            self.platform.bw_input(a, asg.proc)
+        } else {
+            let prev = chain[j - 1];
+            if prev.proc == asg.proc {
+                f64::INFINITY // same processor: no communication
+            } else {
+                self.platform.bw_inter(a, prev.proc, asg.proc)
+            }
+        };
+        let bw_out = if j == chain.len() - 1 {
+            self.platform.bw_output(a, asg.proc)
+        } else {
+            let next = chain[j + 1];
+            if next.proc == asg.proc {
+                f64::INFINITY
+            } else {
+                self.platform.bw_inter(a, asg.proc, next.proc)
+            }
+        };
+        (
+            app.input_of(asg.interval.first) / bw_in,
+            app.interval_work(asg.interval.first, asg.interval.last) / speed,
+            app.output_of(asg.interval.last) / bw_out,
+        )
+    }
+
+    /// Cycle-time of processor `u`: sum of its interval demands.
+    pub fn proc_cycle(&self, mapping: &GeneralMapping, u: usize, model: CommModel) -> f64 {
+        let mut sum_in = 0.0;
+        let mut sum_comp = 0.0;
+        let mut sum_out = 0.0;
+        for asg in mapping.assignments.iter().filter(|x| x.proc == u) {
+            let (i, c, o) = self.interval_ops(mapping, asg);
+            sum_in += i;
+            sum_comp += c;
+            sum_out += o;
+        }
+        model.combine(sum_in, sum_comp, sum_out)
+    }
+
+    /// Global weighted period: every application is paced by the busiest
+    /// processor it touches (shared processors couple the applications).
+    pub fn period(&self, mapping: &GeneralMapping, model: CommModel) -> f64 {
+        let procs: Vec<usize> = mapping.enrolled_procs().iter().map(|&(u, _)| u).collect();
+        let cycles: HashMap<usize, f64> =
+            procs.iter().map(|&u| (u, self.proc_cycle(mapping, u, model))).collect();
+        let mut global = 0.0f64;
+        for (a, app) in self.apps.apps.iter().enumerate() {
+            let t_a = mapping
+                .app_chain(a)
+                .iter()
+                .map(|asg| cycles[&asg.proc])
+                .fold(0.0, fmax);
+            global = fmax(global, app.weight * t_a);
+        }
+        global
+    }
+
+    /// Global weighted latency (per-dataset path; sharing does not change
+    /// the path, only the steady-state pacing).
+    pub fn latency(&self, mapping: &GeneralMapping) -> f64 {
+        let mut global = 0.0f64;
+        for (a, app) in self.apps.apps.iter().enumerate() {
+            let chain = mapping.app_chain(a);
+            let mut l = 0.0;
+            for (j, asg) in chain.iter().enumerate() {
+                let (i, c, o) = self.interval_ops(mapping, asg);
+                if j == 0 {
+                    l += i;
+                }
+                l += c + o;
+            }
+            global = fmax(global, app.weight * l);
+        }
+        global
+    }
+
+    /// Total energy: each distinct enrolled processor pays once.
+    pub fn energy(&self, mapping: &GeneralMapping) -> f64 {
+        mapping
+            .enrolled_procs()
+            .iter()
+            .map(|&(u, m)| self.energy.proc_energy(self.platform, u, m))
+            .sum()
+    }
+}
+
+/// The Section 3.3 reduction: 2-PARTITION → period minimization with
+/// general mappings, single application, 2 identical uni-modal processors,
+/// no communication. Stage `i` has work `a_i`; a period of `S/2` is
+/// achievable iff the items can be split evenly.
+pub struct SharingGadget {
+    /// The single application (one stage per item).
+    pub apps: AppSet,
+    /// Two identical unit-speed processors.
+    pub platform: Platform,
+    /// The period target `S/2`.
+    pub target_period: f64,
+}
+
+/// Encode a 2-PARTITION instance into the general-mapping gadget.
+pub fn sharing_gadget_encode(inst: &TwoPartition) -> SharingGadget {
+    let stages: Vec<crate::application::Stage> = inst
+        .items
+        .iter()
+        .map(|&a| crate::application::Stage::new(a as f64, 0.0))
+        .collect();
+    let app = crate::application::Application::named("sharing-gadget", 0.0, stages, 1.0)
+        .expect("valid");
+    let apps = AppSet::single(app);
+    let platform = Platform::new(
+        vec![Processor::uni_modal(1.0).expect("valid"); 2],
+        Links::Uniform(1.0),
+    )
+    .expect("valid");
+    SharingGadget { apps, platform, target_period: inst.total() as f64 / 2.0 }
+}
+
+/// Build the general mapping a 2-PARTITION certificate induces: stages in
+/// subset `I` on processor 0 (as singleton intervals), the rest on
+/// processor 1.
+pub fn sharing_gadget_mapping(side: &[bool]) -> GeneralMapping {
+    let mut m = GeneralMapping::new();
+    for (i, &in_subset) in side.iter().enumerate() {
+        m.push(Interval::new(0, i, i), if in_subset { 0 } else { 1 }, 0);
+    }
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::application::Application;
+
+    fn setup() -> (AppSet, Platform) {
+        let apps = AppSet::new(vec![
+            Application::from_pairs(0.0, &[(4.0, 0.0), (2.0, 0.0)]),
+            Application::from_pairs(0.0, &[(3.0, 0.0)]),
+        ])
+        .unwrap();
+        let pf = Platform::fully_homogeneous(2, vec![1.0], 1.0).unwrap();
+        (apps, pf)
+    }
+
+    #[test]
+    fn sharing_sums_processor_load() {
+        let (apps, pf) = setup();
+        // P0 runs app0 entirely and app1: cycle = (4+2) + 3 = 9.
+        let m = GeneralMapping::new()
+            .with(Interval::new(0, 0, 1), 0, 0)
+            .with(Interval::new(1, 0, 0), 0, 0);
+        m.validate(&apps, &pf).unwrap();
+        let ev = GeneralEvaluator::new(&apps, &pf);
+        assert_eq!(ev.proc_cycle(&m, 0, CommModel::Overlap), 9.0);
+        assert_eq!(ev.period(&m, CommModel::Overlap), 9.0);
+        assert_eq!(ev.energy(&m), 1.0);
+    }
+
+    #[test]
+    fn splitting_across_processors_reduces_period() {
+        let (apps, pf) = setup();
+        let shared = GeneralMapping::new()
+            .with(Interval::new(0, 0, 1), 0, 0)
+            .with(Interval::new(1, 0, 0), 0, 0);
+        let split = GeneralMapping::new()
+            .with(Interval::new(0, 0, 1), 0, 0)
+            .with(Interval::new(1, 0, 0), 1, 0);
+        let ev = GeneralEvaluator::new(&apps, &pf);
+        assert!(ev.period(&split, CommModel::Overlap) < ev.period(&shared, CommModel::Overlap));
+        assert_eq!(ev.period(&split, CommModel::Overlap), 6.0);
+    }
+
+    #[test]
+    fn internal_communications_vanish_on_same_processor() {
+        let apps = AppSet::single(Application::from_pairs(1.0, &[(2.0, 100.0), (2.0, 1.0)]));
+        let pf = Platform::fully_homogeneous(2, vec![1.0], 1.0).unwrap();
+        // Both stages on P0 as two intervals: the δ=100 edge is internal.
+        let m = GeneralMapping::new()
+            .with(Interval::new(0, 0, 0), 0, 0)
+            .with(Interval::new(0, 1, 1), 0, 0);
+        let ev = GeneralEvaluator::new(&apps, &pf);
+        // Overlap cycle: max(in=1, comp=4, out=1) = 4 (100 never paid).
+        assert_eq!(ev.proc_cycle(&m, 0, CommModel::Overlap), 4.0);
+        assert_eq!(ev.latency(&m), 1.0 + 4.0 + 1.0);
+    }
+
+    #[test]
+    fn mode_consistency_enforced() {
+        let apps = AppSet::single(Application::from_pairs(0.0, &[(1.0, 0.0), (1.0, 0.0)]));
+        let pf = Platform::fully_homogeneous(1, vec![1.0, 2.0], 1.0).unwrap();
+        let m = GeneralMapping::new()
+            .with(Interval::new(0, 0, 0), 0, 0)
+            .with(Interval::new(0, 1, 1), 0, 1);
+        assert!(m.validate(&apps, &pf).is_err());
+        let ok = GeneralMapping::new()
+            .with(Interval::new(0, 0, 0), 0, 1)
+            .with(Interval::new(0, 1, 1), 0, 1);
+        assert!(ok.validate(&apps, &pf).is_ok());
+    }
+
+    #[test]
+    fn gadget_yes_reaches_half_sum() {
+        let inst = TwoPartition { items: vec![3, 1, 1, 2, 2, 1] };
+        let side = inst.solve().unwrap();
+        let g = sharing_gadget_encode(&inst);
+        let m = sharing_gadget_mapping(&side);
+        m.validate(&g.apps, &g.platform).unwrap();
+        let ev = GeneralEvaluator::new(&g.apps, &g.platform);
+        assert_eq!(ev.period(&m, CommModel::Overlap), g.target_period);
+    }
+
+    #[test]
+    fn coverage_still_required() {
+        let (apps, pf) = setup();
+        let m = GeneralMapping::new().with(Interval::new(0, 0, 1), 0, 0);
+        assert!(m.validate(&apps, &pf).is_err());
+    }
+}

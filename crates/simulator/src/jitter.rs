@@ -1,0 +1,246 @@
+//! Robustness under execution noise.
+//!
+//! The paper's model is deterministic: stage `k` always takes exactly
+//! `w_k/s` time units. Real platforms jitter (cache effects, OS noise,
+//! congestion). This module re-runs the pipelined execution with every
+//! operation duration independently perturbed by a seeded multiplicative
+//! factor `U(1-ε, 1+ε)` and reports the measured period/latency
+//! degradation — the question a practitioner asks before trusting a
+//! mapping chosen by the deterministic optimizer.
+//!
+//! Because the schedule is a longest-path computation (max-plus), the
+//! *expected* period under zero-mean noise is **at least** the
+//! deterministic period (Jensen's inequality on the max), which the tests
+//! verify empirically.
+
+#![allow(clippy::too_many_arguments)]
+
+use crate::engine::Engine;
+use cpo_model::prelude::*;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Result of a jittered run.
+#[derive(Debug, Clone)]
+pub struct JitterReport {
+    /// Deterministic (no-noise) steady-state period.
+    pub baseline_period: f64,
+    /// Mean measured period over the trials.
+    pub mean_period: f64,
+    /// Worst measured period.
+    pub max_period: f64,
+    /// Mean first-data-set latency over the trials.
+    pub mean_latency: f64,
+    /// Number of trials.
+    pub trials: usize,
+}
+
+impl JitterReport {
+    /// Mean relative period degradation (`mean/baseline - 1`).
+    pub fn degradation(&self) -> f64 {
+        self.mean_period / self.baseline_period - 1.0
+    }
+}
+
+/// Measured period and latency of one jittered run.
+fn jittered_run(
+    apps: &AppSet,
+    platform: &Platform,
+    mapping: &Mapping,
+    model: CommModel,
+    datasets: usize,
+    epsilon: f64,
+    rng: &mut StdRng,
+) -> (f64, f64) {
+    // Rebuild the dependency DAG with perturbed durations. Reuses the same
+    // structural logic as the deterministic simulator, but durations are
+    // per-operation samples rather than per-stage constants.
+    let mut engine = Engine::new();
+    let mut per_app_outputs = Vec::with_capacity(apps.a());
+    for (a, app) in apps.apps.iter().enumerate() {
+        let chain = mapping.app_chain(a);
+        let m = chain.len();
+        let base_transfer: Vec<f64> = (0..=m)
+            .map(|j| {
+                if j == 0 {
+                    app.input / platform.bw_input(a, chain[0].proc)
+                } else if j == m {
+                    app.result_size() / platform.bw_output(a, chain[m - 1].proc)
+                } else {
+                    app.input_of(chain[j].interval.first)
+                        / platform.bw_inter(a, chain[j - 1].proc, chain[j].proc)
+                }
+            })
+            .collect();
+        let base_compute: Vec<f64> = chain
+            .iter()
+            .map(|asg| {
+                app.interval_work(asg.interval.first, asg.interval.last)
+                    / platform.procs[asg.proc].speed(asg.mode)
+            })
+            .collect();
+        let mut jig = |d: f64| {
+            if d == 0.0 || epsilon == 0.0 {
+                d
+            } else {
+                d * rng.gen_range(1.0 - epsilon..=1.0 + epsilon)
+            }
+        };
+
+        let mut prev_t: Vec<Option<usize>> = vec![None; m + 1];
+        let mut prev_c: Vec<Option<usize>> = vec![None; m];
+        let mut outputs = Vec::with_capacity(datasets);
+        for _d in 0..datasets {
+            let mut cur_t: Vec<usize> = Vec::with_capacity(m + 1);
+            let mut cur_c: Vec<usize> = Vec::with_capacity(m);
+            for j in 0..=m {
+                let mut deps: Vec<usize> = Vec::with_capacity(3);
+                if j > 0 {
+                    deps.push(cur_c[j - 1]);
+                }
+                if let Some(t) = prev_t[j] {
+                    deps.push(t);
+                }
+                if model == CommModel::NoOverlap && j < m {
+                    if let Some(t) = prev_t[j + 1] {
+                        deps.push(t);
+                    }
+                }
+                let t_op = engine.add_op(jig(base_transfer[j]), None, &deps);
+                cur_t.push(t_op);
+                if j < m {
+                    let mut cdeps: Vec<usize> = vec![t_op];
+                    if let Some(c) = prev_c[j] {
+                        cdeps.push(c);
+                    }
+                    let c_op = engine.add_op(jig(base_compute[j]), None, &cdeps);
+                    cur_c.push(c_op);
+                }
+            }
+            outputs.push(cur_t[m]);
+            prev_t = cur_t.into_iter().map(Some).collect();
+            prev_c = cur_c.into_iter().map(Some).collect();
+        }
+        per_app_outputs.push(outputs);
+    }
+    engine.run();
+
+    let mut period = 0.0f64;
+    let mut latency = 0.0f64;
+    for (a, outputs) in per_app_outputs.iter().enumerate() {
+        let completions: Vec<f64> = outputs.iter().map(|&op| engine.end_of(op)).collect();
+        let lo = completions.len() / 2;
+        let hi = completions.len() - 1;
+        let t = if hi > lo {
+            (completions[hi] - completions[lo]) / (hi - lo) as f64
+        } else {
+            completions[hi]
+        };
+        period = cpo_model::num::fmax(period, apps.apps[a].weight * t);
+        latency = cpo_model::num::fmax(latency, apps.apps[a].weight * completions[0]);
+    }
+    (period, latency)
+}
+
+/// Run `trials` independent jittered executions (`±epsilon` multiplicative
+/// noise on every operation) and aggregate the degradation statistics.
+pub fn jitter_analysis(
+    apps: &AppSet,
+    platform: &Platform,
+    mapping: &Mapping,
+    model: CommModel,
+    datasets: usize,
+    epsilon: f64,
+    trials: usize,
+    seed: u64,
+) -> JitterReport {
+    assert!((0.0..1.0).contains(&epsilon), "epsilon must be in [0, 1)");
+    assert!(trials > 0 && datasets > 1);
+    mapping.validate(apps, platform).expect("valid mapping");
+    let baseline = crate::pipeline::simulate(apps, platform, mapping, model, datasets);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sum_t = 0.0;
+    let mut max_t = 0.0f64;
+    let mut sum_l = 0.0;
+    for _ in 0..trials {
+        let (t, l) = jittered_run(apps, platform, mapping, model, datasets, epsilon, &mut rng);
+        sum_t += t;
+        max_t = max_t.max(t);
+        sum_l += l;
+    }
+    JitterReport {
+        baseline_period: baseline.period,
+        mean_period: sum_t / trials as f64,
+        max_period: max_t,
+        mean_latency: sum_l / trials as f64,
+        trials,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpo_model::generator::section2_example;
+    use cpo_model::mapping::Interval;
+
+    fn mapping() -> Mapping {
+        Mapping::new()
+            .with(Interval::new(0, 0, 2), 2, 1)
+            .with(Interval::new(1, 0, 1), 1, 1)
+            .with(Interval::new(1, 2, 3), 0, 1)
+    }
+
+    #[test]
+    fn zero_noise_matches_deterministic() {
+        let (apps, pf) = section2_example();
+        let rep = jitter_analysis(&apps, &pf, &mapping(), CommModel::Overlap, 32, 0.0, 3, 1);
+        assert!((rep.mean_period - rep.baseline_period).abs() < 1e-9);
+        assert!((rep.degradation()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noise_degrades_the_period_on_average() {
+        let (apps, pf) = section2_example();
+        let rep = jitter_analysis(&apps, &pf, &mapping(), CommModel::Overlap, 64, 0.2, 16, 2);
+        assert!(
+            rep.mean_period >= rep.baseline_period * 0.999,
+            "max-plus noise cannot speed up steady state: {} vs {}",
+            rep.mean_period,
+            rep.baseline_period
+        );
+        assert!(rep.max_period >= rep.mean_period);
+        // With ±20% noise the degradation stays bounded (sanity).
+        assert!(rep.degradation() < 0.5);
+    }
+
+    #[test]
+    fn degradation_grows_with_epsilon() {
+        let (apps, pf) = section2_example();
+        let mut last = -1.0;
+        for eps in [0.0, 0.1, 0.3] {
+            let rep =
+                jitter_analysis(&apps, &pf, &mapping(), CommModel::Overlap, 48, eps, 24, 3);
+            assert!(
+                rep.degradation() >= last - 0.02,
+                "eps {eps}: degradation should broadly grow"
+            );
+            last = rep.degradation();
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (apps, pf) = section2_example();
+        let a = jitter_analysis(&apps, &pf, &mapping(), CommModel::Overlap, 32, 0.2, 5, 7);
+        let b = jitter_analysis(&apps, &pf, &mapping(), CommModel::Overlap, 32, 0.2, 5, 7);
+        assert_eq!(a.mean_period, b.mean_period);
+        assert_eq!(a.max_period, b.max_period);
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be in [0, 1)")]
+    fn epsilon_range_enforced() {
+        let (apps, pf) = section2_example();
+        let _ = jitter_analysis(&apps, &pf, &mapping(), CommModel::Overlap, 8, 1.5, 2, 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! # cpo-simulator — executing mappings instead of trusting formulas
+//!
+//! The paper *defines* the period and latency of a mapping analytically
+//! (Eqs. 3–5). This crate closes the loop by actually **executing**
+//! mappings:
+//!
+//! * [`engine`] — a deterministic discrete-event engine (calendar queue
+//!   over a dependency DAG of operations);
+//! * [`pipeline`] — the pipelined execution of a mapping: every data set
+//!   flows through receive → compute → send operations whose dependency
+//!   structure encodes the overlap / no-overlap semantics of Section 3.2;
+//!   the report contains the *measured* steady-state period, first-data-set
+//!   latency and energy, which the integration tests compare against the
+//!   analytic evaluator;
+//! * [`trace`] — schedule traces and ASCII Gantt charts;
+//! * [`jitter`] — robustness analysis under multiplicative execution noise;
+//! * [`live`] — a real multi-threaded executor (one thread per enrolled
+//!   processor, crossbeam channels as links) that runs user-supplied stage
+//!   functions, demonstrating a mapping on actual hardware.
+
+pub mod engine;
+pub mod jitter;
+pub mod live;
+pub mod pipeline;
+pub mod trace;
+
+pub use engine::{Engine, OpId};
+pub use live::{LivePipeline, LiveReport};
+pub use pipeline::{simulate, simulate_with_buffers, AppTimes, OpMeta, SimReport};
+pub use jitter::{jitter_analysis, JitterReport};
+pub use trace::{simulate_traced, Trace, TraceEntry};

@@ -1,0 +1,191 @@
+//! Schedule traces and ASCII Gantt charts.
+//!
+//! [`simulate_traced`] runs the same discrete-event simulation as
+//! [`crate::pipeline::simulate`] but additionally returns every operation's
+//! `(start, end)` interval, tagged with its processor or link. The
+//! [`Trace::gantt`] renderer draws per-resource timelines — the quickest
+//! way to *see* why a mapping's period is what it is (which resource is
+//! saturated, where the pipeline bubbles are).
+
+use crate::pipeline::{build_and_run, OpMeta, SimReport};
+use cpo_model::prelude::*;
+
+/// One scheduled operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEntry {
+    /// What ran.
+    pub meta: OpMeta,
+    /// Start time.
+    pub start: f64,
+    /// End time.
+    pub end: f64,
+}
+
+/// A full schedule trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// All operations, sorted by start time.
+    pub entries: Vec<TraceEntry>,
+    /// Simulated horizon.
+    pub makespan: f64,
+}
+
+impl Trace {
+    /// Operations executed by processor `u` (computes only).
+    pub fn proc_ops(&self, u: usize) -> impl Iterator<Item = &TraceEntry> + '_ {
+        self.entries
+            .iter()
+            .filter(move |e| matches!(e.meta, OpMeta::Compute { proc, .. } if proc == u))
+    }
+
+    /// Operations on edge `edge` of application `app`.
+    pub fn edge_ops(&self, app: usize, edge: usize) -> impl Iterator<Item = &TraceEntry> + '_ {
+        self.entries.iter().filter(move |e| {
+            matches!(e.meta, OpMeta::Transfer { app: a, edge: j, .. } if a == app && j == edge)
+        })
+    }
+
+    /// Render an ASCII Gantt chart of the processors' compute activity,
+    /// `width` characters wide. Each data set is drawn with the digit
+    /// `dataset % 10`; idle time is `·`.
+    pub fn gantt(&self, platform: &Platform, width: usize) -> String {
+        let width = width.max(10);
+        let scale = if self.makespan > 0.0 { width as f64 / self.makespan } else { 0.0 };
+        let mut out = String::new();
+        for u in 0..platform.p() {
+            let mut row = vec!['·'; width];
+            let mut any = false;
+            for e in self.proc_ops(u) {
+                any = true;
+                let dataset = match e.meta {
+                    OpMeta::Compute { dataset, .. } => dataset,
+                    OpMeta::Transfer { dataset, .. } => dataset,
+                };
+                let c = char::from_digit((dataset % 10) as u32, 10).expect("digit");
+                let lo = (e.start * scale).floor() as usize;
+                let hi = ((e.end * scale).ceil() as usize).min(width).max(lo + 1);
+                for cell in row.iter_mut().take(hi.min(width)).skip(lo.min(width)) {
+                    *cell = c;
+                }
+            }
+            if any {
+                out.push_str(&format!("P{:<3} |", u + 1));
+                out.extend(row);
+                out.push('\n');
+            }
+        }
+        out.push_str(&format!(
+            "      0{:>width$.2}\n",
+            self.makespan,
+            width = width.saturating_sub(1)
+        ));
+        out
+    }
+}
+
+/// Run the simulation and return both the report and the full trace.
+pub fn simulate_traced(
+    apps: &AppSet,
+    platform: &Platform,
+    mapping: &Mapping,
+    model: CommModel,
+    datasets: usize,
+) -> (SimReport, Trace) {
+    let (report, engine, meta) = build_and_run(apps, platform, mapping, model, datasets, usize::MAX);
+    let mut entries: Vec<TraceEntry> = meta
+        .into_iter()
+        .enumerate()
+        .map(|(op, m)| TraceEntry { meta: m, start: engine.start_of(op), end: engine.end_of(op) })
+        .collect();
+    entries.sort_by(|a, b| a.start.partial_cmp(&b.start).expect("finite times"));
+    let makespan = report.makespan;
+    (report, Trace { entries, makespan })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpo_model::generator::section2_example;
+    use cpo_model::mapping::Interval;
+
+    fn mapping() -> Mapping {
+        Mapping::new()
+            .with(Interval::new(0, 0, 2), 2, 1)
+            .with(Interval::new(1, 0, 1), 1, 1)
+            .with(Interval::new(1, 2, 3), 0, 1)
+    }
+
+    #[test]
+    fn trace_covers_all_operations() {
+        let (apps, pf) = section2_example();
+        let datasets = 8;
+        let (report, trace) = simulate_traced(&apps, &pf, &mapping(), CommModel::Overlap, datasets);
+        // App0: 1 node → 2 edges + 1 compute = 3 ops/dataset; app1: 2 nodes
+        // → 3 edges + 2 computes = 5 ops/dataset.
+        assert_eq!(trace.entries.len(), (3 + 5) * datasets);
+        assert_eq!(trace.makespan, report.makespan);
+        // Entries sorted by start and contained in [0, makespan].
+        for w in trace.entries.windows(2) {
+            assert!(w[0].start <= w[1].start);
+        }
+        for e in &trace.entries {
+            assert!(e.start >= 0.0 && e.end <= trace.makespan + 1e-9);
+            assert!(e.end >= e.start);
+        }
+    }
+
+    #[test]
+    fn per_processor_ops_are_disjoint_in_time() {
+        let (apps, pf) = section2_example();
+        let (_, trace) = simulate_traced(&apps, &pf, &mapping(), CommModel::Overlap, 16);
+        for u in 0..3 {
+            let mut ops: Vec<(f64, f64)> = trace.proc_ops(u).map(|e| (e.start, e.end)).collect();
+            ops.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+            for w in ops.windows(2) {
+                assert!(
+                    w[1].0 >= w[0].1 - 1e-9,
+                    "P{u}: overlapping computes {w:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn link_ops_are_serial_per_edge() {
+        let (apps, pf) = section2_example();
+        let (_, trace) = simulate_traced(&apps, &pf, &mapping(), CommModel::NoOverlap, 12);
+        for app in 0..2 {
+            for edge in 0..=2 {
+                let mut ops: Vec<(f64, f64)> =
+                    trace.edge_ops(app, edge).map(|e| (e.start, e.end)).collect();
+                ops.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+                for w in ops.windows(2) {
+                    assert!(w[1].0 >= w[0].1 - 1e-9, "app {app} edge {edge}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gantt_renders_all_processors() {
+        let (apps, pf) = section2_example();
+        let (_, trace) = simulate_traced(&apps, &pf, &mapping(), CommModel::Overlap, 6);
+        let chart = trace.gantt(&pf, 72);
+        assert_eq!(chart.lines().count(), 4); // 3 processors + time axis
+        assert!(chart.contains("P1"));
+        assert!(chart.contains("P3"));
+        // Early data sets appear as digits.
+        assert!(chart.contains('0'));
+        assert!(chart.contains('5'));
+    }
+
+    #[test]
+    fn traced_report_matches_untraced() {
+        let (apps, pf) = section2_example();
+        let (report, _) = simulate_traced(&apps, &pf, &mapping(), CommModel::Overlap, 24);
+        let plain = crate::pipeline::simulate(&apps, &pf, &mapping(), CommModel::Overlap, 24);
+        assert_eq!(report.period, plain.period);
+        assert_eq!(report.latency, plain.latency);
+        assert_eq!(report.makespan, plain.makespan);
+    }
+}

@@ -1,0 +1,85 @@
+//! Fair scheduling of unequal tenants: the **maximum-stretch** objective.
+//!
+//! Eq. (6) of the paper allows `W_a = 1/X_a*`, where `X_a*` is the value
+//! application `a` would achieve *alone* on the platform — then
+//! `max_a W_a·X_a` is the maximum stretch (slowdown) any tenant suffers
+//! from sharing (Bender et al.). This example schedules a small and a huge
+//! application together and shows how the plain-max objective starves the
+//! small tenant while the stretch objective keeps both slowdowns balanced.
+//!
+//! Run with: `cargo run --example stretch_fairness`
+
+use concurrent_pipelines::model::generator::{dsp_radio_app, video_encoding_app};
+use concurrent_pipelines::prelude::*;
+use concurrent_pipelines::solvers::mono::period_interval::minimize_global_period;
+
+fn main() {
+    // A light DSP chain (total work 22) and a heavy video chain (work 37),
+    // the latter scaled 4× to exaggerate the imbalance.
+    let mut video = video_encoding_app(1.0);
+    let stages: Vec<_> = video
+        .stages
+        .iter()
+        .map(|s| concurrent_pipelines::model::application::Stage::new(s.work * 4.0, s.output))
+        .collect();
+    video = concurrent_pipelines::model::application::Application::named(
+        "video-4x", video.input, stages, 1.0,
+    )
+    .expect("valid");
+    let dsp = dsp_radio_app(1.0);
+    let platform = Platform::fully_homogeneous(6, vec![2.0], 4.0).expect("valid platform");
+
+    // Reference periods: each application alone on the full platform.
+    let alone = |app: &concurrent_pipelines::model::application::Application| -> f64 {
+        let solo = AppSet::single(app.clone());
+        minimize_global_period(&solo, &platform, CommModel::Overlap)
+            .expect("feasible")
+            .objective
+    };
+    let t_star = [alone(&dsp), alone(&video)];
+    println!("periods alone on the platform: dsp {:.3}, video {:.3}", t_star[0], t_star[1]);
+
+    // 1. Plain max objective (W = 1): the scheduler only sees the video
+    //    chain's period.
+    let mut apps = AppSet::new(vec![dsp.clone(), video.clone()]).expect("two apps");
+    Aggregation::Max.apply(&mut apps);
+    let plain = minimize_global_period(&apps, &platform, CommModel::Overlap).expect("feasible");
+    let ev = Evaluator::new(&apps, &platform);
+    let plain_periods = [
+        ev.app_period(&plain.mapping, 0, CommModel::Overlap),
+        ev.app_period(&plain.mapping, 1, CommModel::Overlap),
+    ];
+
+    // 2. Maximum-stretch objective (W_a = 1/T_a*).
+    let mut apps_stretch = AppSet::new(vec![dsp, video]).expect("two apps");
+    Aggregation::Stretch(t_star.to_vec()).apply(&mut apps_stretch);
+    let fair =
+        minimize_global_period(&apps_stretch, &platform, CommModel::Overlap).expect("feasible");
+    let evs = Evaluator::new(&apps_stretch, &platform);
+    let fair_periods = [
+        evs.app_period(&fair.mapping, 0, CommModel::Overlap),
+        evs.app_period(&fair.mapping, 1, CommModel::Overlap),
+    ];
+
+    println!("\n{:>22} | {:>10} {:>10} | {:>9} {:>9}", "objective", "T_dsp", "T_video", "str_dsp", "str_video");
+    for (name, t) in [("plain max", plain_periods), ("max stretch", fair_periods)] {
+        println!(
+            "{:>22} | {:>10.3} {:>10.3} | {:>8.2}x {:>8.2}x",
+            name,
+            t[0],
+            t[1],
+            t[0] / t_star[0],
+            t[1] / t_star[1]
+        );
+    }
+
+    let plain_worst = (plain_periods[0] / t_star[0]).max(plain_periods[1] / t_star[1]);
+    let fair_worst = (fair_periods[0] / t_star[0]).max(fair_periods[1] / t_star[1]);
+    println!(
+        "\nworst-tenant slowdown: {plain_worst:.2}x (plain) vs {fair_worst:.2}x (stretch)"
+    );
+    assert!(
+        fair_worst <= plain_worst + 1e-9,
+        "the stretch objective never worsens the worst slowdown"
+    );
+}

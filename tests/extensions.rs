@@ -1,0 +1,165 @@
+//! Integration tests for the Section 6 future-work extensions:
+//! replication, processor sharing (general mappings) and bounded buffers.
+
+use concurrent_pipelines::model::gadgets::TwoPartition;
+use concurrent_pipelines::model::generator::{random_apps, AppGenConfig};
+use concurrent_pipelines::model::replication::{ReplicatedEvaluator, ReplicatedMapping};
+use concurrent_pipelines::model::sharing::{sharing_gadget_encode, sharing_gadget_mapping, GeneralEvaluator};
+use concurrent_pipelines::prelude::*;
+use concurrent_pipelines::simulator::{simulate, simulate_with_buffers};
+use concurrent_pipelines::solvers::replication::{
+    min_energy_replicated_under_period, minimize_global_period_replicated,
+};
+use concurrent_pipelines::solvers::sharing::{exact_min_period_general, lpt_general_period, sharing_gain};
+
+#[test]
+fn replication_dominates_plain_intervals_globally() {
+    let cfg = AppGenConfig { apps: 2, stages: (1, 4), ..Default::default() };
+    for seed in 0..40 {
+        let apps = random_apps(&cfg, seed);
+        let pf = Platform::fully_homogeneous(6, vec![2.0], 1.0).unwrap();
+        let plain = concurrent_pipelines::solvers::mono::period_interval::minimize_global_period(
+            &apps,
+            &pf,
+            CommModel::Overlap,
+        )
+        .unwrap();
+        let (mapping, period) =
+            minimize_global_period_replicated(&apps, &pf, CommModel::Overlap).unwrap();
+        mapping.validate(&apps, &pf).unwrap();
+        assert!(
+            period <= plain.objective + 1e-9,
+            "seed {seed}: replication {period} worse than plain {}",
+            plain.objective
+        );
+    }
+}
+
+#[test]
+fn replication_energy_never_exceeds_dvfs_only() {
+    // The replicated energy DP has strictly more options than the plain
+    // Theorem 18/21 DP, so it can only match or improve.
+    let cfg = AppGenConfig { apps: 2, stages: (1, 3), ..Default::default() };
+    for seed in 0..30 {
+        let apps = random_apps(&cfg, seed);
+        let pf = Platform::fully_homogeneous(5, vec![1.0, 2.0, 4.0], 1.0).unwrap();
+        let tb: Vec<f64> = apps.apps.iter().map(|a| a.total_work() / 3.0 + 1.0).collect();
+        let plain = concurrent_pipelines::solvers::bi::period_energy::min_energy_interval_fully_hom(
+            &apps,
+            &pf,
+            CommModel::Overlap,
+            &tb,
+        );
+        let repl = min_energy_replicated_under_period(&apps, &pf, CommModel::Overlap, &tb);
+        match (plain, repl) {
+            (Some(p), Some((m, e))) => {
+                m.validate(&apps, &pf).unwrap();
+                assert!(e <= p.objective + 1e-9, "seed {seed}: {e} vs {}", p.objective);
+                // The replicated mapping honors the bounds.
+                let rev = ReplicatedEvaluator::new(&apps, &pf);
+                for (a, bound) in tb.iter().enumerate() {
+                    assert!(rev.app_period(&m, a, CommModel::Overlap) <= bound + 1e-9);
+                }
+            }
+            (None, _) => {}
+            (Some(p), None) => panic!("seed {seed}: replication lost feasibility ({})", p.objective),
+        }
+    }
+}
+
+#[test]
+fn sharing_gadget_reduction_fidelity() {
+    for seed in 0..8u64 {
+        let inst = if seed % 2 == 0 {
+            TwoPartition::yes_instance(5, seed)
+        } else {
+            TwoPartition::no_instance(5, seed)
+        };
+        let expected = inst.solve().is_some();
+        let g = sharing_gadget_encode(&inst);
+        let (_, t) = exact_min_period_general(&g.apps, &g.platform, CommModel::Overlap).unwrap();
+        let reached = (t - g.target_period).abs() < 1e-9;
+        assert!(t >= g.target_period - 1e-9, "cannot beat S/2");
+        assert_eq!(reached, expected, "seed {seed}: gadget fidelity");
+        if expected {
+            let m = sharing_gadget_mapping(&inst.solve().unwrap());
+            let ev = GeneralEvaluator::new(&g.apps, &g.platform);
+            assert!((ev.period(&m, CommModel::Overlap) - g.target_period).abs() < 1e-9);
+        }
+    }
+}
+
+#[test]
+fn lpt_heuristic_stays_within_graham_bound_without_comm() {
+    let cfg = AppGenConfig { apps: 3, stages: (1, 3), data: (0.0, 0.0), ..Default::default() };
+    for seed in 0..30 {
+        let apps = random_apps(&cfg, seed);
+        let pf = Platform::fully_homogeneous(3, vec![1.0], 1.0).unwrap();
+        let (m, lpt) = lpt_general_period(&apps, &pf, CommModel::Overlap).unwrap();
+        m.validate(&apps, &pf).unwrap();
+        let (_, opt) = exact_min_period_general(&apps, &pf, CommModel::Overlap).unwrap();
+        assert!(lpt >= opt - 1e-9, "seed {seed}");
+        assert!(lpt <= opt * (4.0 / 3.0) + 1e-6, "seed {seed}: {lpt} vs {opt}");
+    }
+}
+
+#[test]
+fn sharing_gain_is_bounded_and_meaningful() {
+    // On random instances the general optimum is never worse than the
+    // interval optimum, and when p < A only sharing is feasible.
+    let cfg = AppGenConfig { apps: 2, stages: (1, 3), ..Default::default() };
+    let mut helped = 0;
+    for seed in 0..30 {
+        let apps = random_apps(&cfg, seed);
+        let pf = Platform::fully_homogeneous(2, vec![2.0], 1.0).unwrap();
+        if let Some((ti, tg)) = sharing_gain(&apps, &pf, CommModel::Overlap) {
+            assert!(tg <= ti + 1e-9, "seed {seed}");
+            if tg < ti - 1e-9 {
+                helped += 1;
+            }
+        }
+    }
+    assert!(helped > 0, "sharing should strictly help on some scarce-processor instances");
+}
+
+#[test]
+fn bounded_buffers_interpolate_between_coupled_and_ideal() {
+    let apps = AppSet::single(
+        concurrent_pipelines::model::application::Application::from_pairs(
+            0.0,
+            &[(2.0, 3.0), (3.0, 2.0), (2.0, 0.0)],
+        ),
+    );
+    let pf = Platform::fully_homogeneous(3, vec![1.0], 1.0).unwrap();
+    let mapping = Mapping::new()
+        .with(Interval::new(0, 0, 0), 0, 0)
+        .with(Interval::new(0, 1, 1), 1, 0)
+        .with(Interval::new(0, 2, 2), 2, 0);
+    let ideal = simulate(&apps, &pf, &mapping, CommModel::Overlap, 64).period;
+    let mut last = f64::INFINITY;
+    for cap in [1usize, 2, 3, 8] {
+        let t = simulate_with_buffers(&apps, &pf, &mapping, CommModel::Overlap, 64, cap).period;
+        assert!(t >= ideal - 1e-9, "capacity {cap} cannot beat unbounded");
+        assert!(t <= last + 1e-9, "throughput monotone in capacity");
+        last = t;
+    }
+    assert!((last - ideal).abs() < 1e-9, "large buffers recover the paper's model");
+}
+
+#[test]
+fn replicated_mapping_roundtrip_from_plain() {
+    let (apps, pf) = concurrent_pipelines::model::generator::section2_example();
+    let plain = Mapping::new()
+        .with(Interval::new(0, 0, 2), 2, 1)
+        .with(Interval::new(1, 0, 1), 1, 1)
+        .with(Interval::new(1, 2, 3), 0, 1);
+    let repl = ReplicatedMapping::from_plain(&plain);
+    repl.validate(&apps, &pf).unwrap();
+    let ev = Evaluator::new(&apps, &pf);
+    let rev = ReplicatedEvaluator::new(&apps, &pf);
+    for model in CommModel::ALL {
+        assert!((ev.period(&plain, model) - rev.period(&repl, model)).abs() < 1e-12);
+    }
+    assert!((ev.latency(&plain) - rev.latency(&repl)).abs() < 1e-12);
+    assert!((ev.energy(&plain) - rev.energy(&repl)).abs() < 1e-12);
+}

@@ -1,0 +1,132 @@
+//! The discrete-event simulator must agree with the analytic evaluator
+//! (Eqs. 3–5) on arbitrary valid mappings, platforms and both
+//! communication models.
+
+use concurrent_pipelines::model::generator::{
+    random_apps, random_comm_homogeneous, random_fully_heterogeneous, AppGenConfig,
+    PlatformGenConfig,
+};
+use concurrent_pipelines::prelude::*;
+use concurrent_pipelines::simulator::simulate;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Build a random valid interval mapping.
+fn random_mapping(apps: &AppSet, platform: &Platform, rng: &mut StdRng) -> Option<Mapping> {
+    let mut procs: Vec<usize> = (0..platform.p()).collect();
+    procs.shuffle(rng);
+    let mut mapping = Mapping::new();
+    let mut next = 0usize;
+    for (a, app) in apps.apps.iter().enumerate() {
+        let mut first = 0usize;
+        while first < app.n() {
+            let last = rng.gen_range(first..app.n());
+            if next >= procs.len() {
+                return None;
+            }
+            let u = procs[next];
+            next += 1;
+            let mode = rng.gen_range(0..platform.procs[u].modes());
+            mapping.push(Interval::new(a, first, last), u, mode);
+            first = last + 1;
+        }
+    }
+    Some(mapping)
+}
+
+#[test]
+fn simulated_equals_analytic_on_random_comm_hom_instances() {
+    let mut rng = StdRng::seed_from_u64(12345);
+    let app_cfg = AppGenConfig { apps: 2, stages: (1, 5), ..Default::default() };
+    let pf_cfg = PlatformGenConfig { procs: 8, modes: (1, 3), ..Default::default() };
+    let mut checked = 0;
+    for seed in 0..80u64 {
+        let apps = random_apps(&app_cfg, seed);
+        let pf = random_comm_homogeneous(&pf_cfg, seed + 500);
+        let Some(mapping) = random_mapping(&apps, &pf, &mut rng) else { continue };
+        mapping.validate(&apps, &pf).expect("constructed valid");
+        let ev = Evaluator::new(&apps, &pf);
+        for model in CommModel::ALL {
+            let rep = simulate(&apps, &pf, &mapping, model, 48);
+            let t = ev.period(&mapping, model);
+            let l = ev.latency(&mapping);
+            assert!(
+                (rep.period - t).abs() < 1e-6 * (1.0 + t),
+                "seed {seed} {model:?}: simulated period {} vs analytic {t}",
+                rep.period
+            );
+            assert!(
+                (rep.latency - l).abs() < 1e-6 * (1.0 + l),
+                "seed {seed} {model:?}: simulated latency {} vs analytic {l}",
+                rep.latency
+            );
+            assert!((rep.power - ev.energy(&mapping)).abs() < 1e-9);
+        }
+        checked += 1;
+    }
+    assert!(checked > 40, "enough random instances exercised ({checked})");
+}
+
+#[test]
+fn simulated_equals_analytic_on_heterogeneous_platforms() {
+    let mut rng = StdRng::seed_from_u64(999);
+    let app_cfg = AppGenConfig { apps: 2, stages: (1, 4), ..Default::default() };
+    let pf_cfg = PlatformGenConfig { procs: 6, modes: (1, 2), ..Default::default() };
+    let mut checked = 0;
+    for seed in 0..60u64 {
+        let apps = random_apps(&app_cfg, seed);
+        let pf = random_fully_heterogeneous(&pf_cfg, apps.a(), seed + 700);
+        let Some(mapping) = random_mapping(&apps, &pf, &mut rng) else { continue };
+        let ev = Evaluator::new(&apps, &pf);
+        for model in CommModel::ALL {
+            let rep = simulate(&apps, &pf, &mapping, model, 48);
+            let t = ev.period(&mapping, model);
+            assert!(
+                (rep.period - t).abs() < 1e-6 * (1.0 + t),
+                "seed {seed} {model:?}: {} vs {t}",
+                rep.period
+            );
+            let l = ev.latency(&mapping);
+            assert!((rep.latency - l).abs() < 1e-6 * (1.0 + l));
+        }
+        checked += 1;
+    }
+    assert!(checked > 30);
+}
+
+#[test]
+fn steady_state_is_reached_quickly() {
+    // Measured period must be independent of the horizon once past warmup.
+    let app_cfg = AppGenConfig { apps: 1, stages: (3, 5), ..Default::default() };
+    let pf_cfg = PlatformGenConfig { procs: 5, modes: (1, 2), ..Default::default() };
+    let mut rng = StdRng::seed_from_u64(42);
+    for seed in 0..20u64 {
+        let apps = random_apps(&app_cfg, seed);
+        let pf = random_comm_homogeneous(&pf_cfg, seed);
+        let Some(mapping) = random_mapping(&apps, &pf, &mut rng) else { continue };
+        let short = simulate(&apps, &pf, &mapping, CommModel::Overlap, 24);
+        let long = simulate(&apps, &pf, &mapping, CommModel::Overlap, 96);
+        assert!(
+            (short.period - long.period).abs() < 1e-6 * (1.0 + long.period),
+            "seed {seed}: horizon-dependent period {} vs {}",
+            short.period,
+            long.period
+        );
+    }
+}
+
+#[test]
+fn utilization_bounded_by_one() {
+    let app_cfg = AppGenConfig { apps: 2, stages: (2, 4), ..Default::default() };
+    let pf_cfg = PlatformGenConfig { procs: 6, modes: (1, 2), ..Default::default() };
+    let mut rng = StdRng::seed_from_u64(7);
+    for seed in 0..20u64 {
+        let apps = random_apps(&app_cfg, seed);
+        let pf = random_comm_homogeneous(&pf_cfg, seed);
+        let Some(mapping) = random_mapping(&apps, &pf, &mut rng) else { continue };
+        let rep = simulate(&apps, &pf, &mapping, CommModel::Overlap, 32);
+        for u in 0..pf.p() {
+            assert!(rep.utilization(u) <= 1.0 + 1e-9, "seed {seed} proc {u}");
+        }
+    }
+}
