@@ -9,9 +9,10 @@
 //!   the paper's Algorithm 2 (the per-application optimum is still
 //!   non-increasing in the processor count).
 //! * [`min_energy_replicated_under_period`] — the energy-aware variant:
-//!   per interval, the cheapest `(r, mode)` combination meeting the period
-//!   bound (replication as an alternative to DVFS: `r` slow processors vs
-//!   one fast processor — the ablation the benches quantify).
+//!   a DP over (prefix, processor budget) choosing each interval's split
+//!   and replication factor jointly, with the cheapest feasible mode per
+//!   `(interval, r)` (replication as an alternative to DVFS: `r` slow
+//!   processors vs one fast processor — the ablation the benches quantify).
 //! * [`exact_min_period_replicated`] — exhaustive baseline for
 //!   certification.
 
@@ -173,33 +174,28 @@ pub fn minimize_global_period_replicated(
     Some((mapping, achieved))
 }
 
-/// Cheapest `(r, mode)` for an interval under a period bound: either few
-/// fast replicas or many slow ones — whichever consumes less energy.
-fn cheapest_replicated_choice(
+/// Cheapest mode for an interval replicated exactly `r` times under a
+/// period bound: the slowest feasible speed (dynamic energy is increasing
+/// in speed since `α > 1`). Returns `(mode, total energy of the r replicas)`.
+fn cheapest_mode_for_factor(
     ctx: &HomCtx<'_>,
     lo: usize,
     hi: usize,
     t_bound: f64,
-    rmax: usize,
-) -> Option<(usize, usize, f64)> {
-    let mut best: Option<(usize, usize, f64)> = None;
-    for r in 1..=rmax {
-        for (m, &s) in ctx.speeds.iter().enumerate() {
-            if num::le(ctx.cycle(lo, hi, s) / r as f64, t_bound) {
-                let e = r as f64 * (ctx.e_stat + ctx.energy.dynamic(s));
-                if best.as_ref().is_none_or(|&(_, _, be)| e < be) {
-                    best = Some((r, m, e));
-                }
-                break; // slower modes for the same r are cheaper — found it
-            }
+    r: usize,
+) -> Option<(usize, f64)> {
+    for (m, &s) in ctx.speeds.iter().enumerate() {
+        if num::le(ctx.cycle(lo, hi, s) / r as f64, t_bound) {
+            return Some((m, r as f64 * (ctx.e_stat + ctx.energy.dynamic(s))));
         }
     }
-    best
+    None
 }
 
 /// Minimum-energy replicated mapping of a single application under a period
 /// bound (fully homogeneous platform): DP over (prefix, processors used)
-/// where each interval picks its cheapest `(r, mode)`. Returns
+/// choosing each interval's split and replication factor `r` jointly
+/// (each candidate `r` takes its cheapest feasible mode). Returns
 /// `(mapping, energy)`.
 pub fn min_energy_replicated_under_period(
     apps: &AppSet,
@@ -246,12 +242,20 @@ pub fn min_energy_replicated_under_period(
                 let mut best = inf;
                 let mut arg = (usize::MAX, 0usize, 0usize);
                 for j in 0..i {
-                    if let Some((r, m, e)) =
-                        cheapest_replicated_choice(&ctx, j, i - 1, period_bounds[a], k)
-                    {
-                        if exact[k - r][j].is_finite() && exact[k - r][j] + e < best {
-                            best = exact[k - r][j] + e;
-                            arg = (j, r, m);
+                    // The replication factor must be chosen jointly with the
+                    // split: the globally cheapest (r, mode) can starve the
+                    // prefix of processors while a costlier smaller r fits.
+                    for r in 1..=k {
+                        if !exact[k - r][j].is_finite() {
+                            continue;
+                        }
+                        if let Some((m, e)) =
+                            cheapest_mode_for_factor(&ctx, j, i - 1, period_bounds[a], r)
+                        {
+                            if exact[k - r][j] + e < best {
+                                best = exact[k - r][j] + e;
+                                arg = (j, r, m);
+                            }
                         }
                     }
                 }

@@ -1,0 +1,271 @@
+//! Offline subset of the `criterion` API.
+//!
+//! Keeps the bench targets compiling and runnable without the real
+//! statistics engine: each benchmark is warmed up once, timed over a small
+//! number of iterations bounded by the group's `measurement_time`, and the
+//! mean wall-clock time per iteration is printed in a criterion-like
+//! format. `CPO_BENCH_FAST=1` caps every benchmark at one measured
+//! iteration (useful for smoke-testing all ten targets).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation (recorded, reported alongside the timing).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Bytes per iteration, decimal multiples.
+    BytesDecimal(u64),
+}
+
+/// A benchmark identifier: function name plus parameter value.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Identifier `name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Identifier from a parameter only.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+/// Anything usable as a benchmark identifier.
+pub trait IntoBenchmarkId {
+    /// Render to the printed identifier.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.name
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing driver handed to the measured closure.
+pub struct Bencher {
+    iterations: u64,
+    budget: Duration,
+    mean: Option<Duration>,
+}
+
+impl Bencher {
+    /// Measure `f`, called repeatedly, and record the mean time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up call, which also provides the budget estimate.
+        let warm = Instant::now();
+        black_box(f());
+        let per_call = warm.elapsed().max(Duration::from_nanos(1));
+
+        // Fit the requested iteration count into the time budget.
+        let fit = (self.budget.as_nanos() / per_call.as_nanos().max(1)) as u64;
+        let n = self.iterations.min(fit).max(1);
+        let start = Instant::now();
+        for _ in 0..n {
+            black_box(f());
+        }
+        self.mean = Some(start.elapsed() / n as u32);
+    }
+}
+
+/// A named group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: u64,
+    measurement_time: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed iterations to aim for.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n as u64;
+        self
+    }
+
+    /// Wall-clock budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up budget (accepted for API compatibility; the shim always
+    /// performs exactly one warm-up call).
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        let _ = d;
+        self
+    }
+
+    /// Record a throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_id());
+        let (sample_size, measurement_time) = (self.sample_size, self.measurement_time);
+        self.criterion.run_one(&full, sample_size, measurement_time, self.throughput, f);
+        self
+    }
+
+    /// Run one benchmark parameterized by an input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// End the group (report separator).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    fast: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { fast: std::env::var_os("CPO_BENCH_FAST").is_some() }
+    }
+}
+
+impl Criterion {
+    /// CLI-configuration hook (accepted for API compatibility; no-op).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            throughput: None,
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(&id.into_id(), 100, Duration::from_secs(5), None, f);
+        self
+    }
+
+    fn run_one<F>(
+        &mut self,
+        name: &str,
+        sample_size: u64,
+        measurement_time: Duration,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher),
+    {
+        let (iterations, budget) = if self.fast {
+            (1, Duration::from_millis(50))
+        } else {
+            (sample_size, measurement_time)
+        };
+        let mut b = Bencher { iterations, budget, mean: None };
+        f(&mut b);
+        match b.mean {
+            Some(mean) => {
+                let extra = match throughput {
+                    Some(Throughput::Elements(n)) if mean.as_secs_f64() > 0.0 => {
+                        format!("  thrpt: {:.0} elem/s", n as f64 / mean.as_secs_f64())
+                    }
+                    Some(Throughput::Bytes(n) | Throughput::BytesDecimal(n))
+                        if mean.as_secs_f64() > 0.0 =>
+                    {
+                        format!("  thrpt: {:.0} B/s", n as f64 / mean.as_secs_f64())
+                    }
+                    _ => String::new(),
+                };
+                println!("{name:<50} time: {mean:>12.3?}/iter{extra}");
+            }
+            None => println!("{name:<50} (no measurement: Bencher::iter never called)"),
+        }
+    }
+}
+
+/// Declare a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declare the bench `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        std::env::set_var("CPO_BENCH_FAST", "1");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(10).measurement_time(Duration::from_millis(10));
+        let mut calls = 0u64;
+        g.bench_with_input(BenchmarkId::new("f", 3), &3u64, |b, &x| {
+            b.iter(|| {
+                calls += 1;
+                x * 2
+            })
+        });
+        g.finish();
+        assert!(calls >= 2); // warm-up + at least one timed iteration
+    }
+}

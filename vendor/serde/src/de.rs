@@ -1,0 +1,711 @@
+//! Deserialization half of the data model.
+
+use std::fmt::{self, Display};
+use std::marker::PhantomData;
+
+/// Error type constructible from a display message.
+pub trait Error: Sized + std::error::Error {
+    /// Build an error from an arbitrary message.
+    fn custom<T: Display>(msg: T) -> Self;
+
+    /// A required field was absent.
+    fn missing_field(field: &'static str) -> Self {
+        Self::custom(format_args!("missing field `{field}`"))
+    }
+
+    /// An unexpected field was present.
+    fn unknown_field(field: &str, expected: &'static [&'static str]) -> Self {
+        Self::custom(format_args!("unknown field `{field}`, expected one of {expected:?}"))
+    }
+
+    /// An unexpected enum variant was present.
+    fn unknown_variant(variant: &str, expected: &'static [&'static str]) -> Self {
+        Self::custom(format_args!("unknown variant `{variant}`, expected one of {expected:?}"))
+    }
+
+    /// A compound had the wrong number of elements.
+    fn invalid_length(len: usize, expected: &dyn Display) -> Self {
+        Self::custom(format_args!("invalid length {len}, expected {expected}"))
+    }
+}
+
+/// A data structure deserializable from any format.
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize `Self` with the given deserializer.
+    fn deserialize<D>(deserializer: D) -> Result<Self, D::Error>
+    where
+        D: Deserializer<'de>;
+}
+
+/// A `Deserialize` that borrows nothing from its input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+/// Stateful deserialization entry point (serde's `DeserializeSeed`).
+pub trait DeserializeSeed<'de>: Sized {
+    /// Produced type.
+    type Value;
+
+    /// Deserialize the value using this seed.
+    fn deserialize<D>(self, deserializer: D) -> Result<Self::Value, D::Error>
+    where
+        D: Deserializer<'de>;
+}
+
+impl<'de, T> DeserializeSeed<'de> for PhantomData<T>
+where
+    T: Deserialize<'de>,
+{
+    type Value = T;
+
+    fn deserialize<D>(self, deserializer: D) -> Result<T, D::Error>
+    where
+        D: Deserializer<'de>,
+    {
+        T::deserialize(deserializer)
+    }
+}
+
+/// A format's deserialization driver.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Deserialize whatever the input contains.
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserialize a `bool`.
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserialize an `i8`.
+    fn deserialize_i8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserialize an `i16`.
+    fn deserialize_i16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserialize an `i32`.
+    fn deserialize_i32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserialize an `i64`.
+    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserialize an `i128`.
+    fn deserialize_i128<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserialize a `u8`.
+    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserialize a `u16`.
+    fn deserialize_u16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserialize a `u32`.
+    fn deserialize_u32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserialize a `u64`.
+    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserialize a `u128`.
+    fn deserialize_u128<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserialize an `f32`.
+    fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserialize an `f64`.
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserialize a `char`.
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserialize a string slice.
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserialize an owned string.
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserialize borrowed bytes.
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserialize an owned byte buffer.
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserialize an `Option`.
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserialize `()`.
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserialize a unit struct.
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserialize a newtype struct.
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserialize a sequence.
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserialize a tuple.
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserialize a tuple struct.
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserialize a map.
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserialize a struct.
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserialize an enum.
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserialize a field/variant identifier.
+    fn deserialize_identifier<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserialize and discard whatever the input contains.
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, visitor: V)
+        -> Result<V::Value, Self::Error>;
+}
+
+/// Driver callbacks receiving the decoded shapes.
+pub trait Visitor<'de>: Sized {
+    /// Produced type.
+    type Value;
+
+    /// Describe what this visitor expects (used in error messages).
+    fn expecting(&self, formatter: &mut fmt::Formatter) -> fmt::Result {
+        formatter.write_str("a value")
+    }
+
+    /// Visit a `bool`.
+    fn visit_bool<E: Error>(self, v: bool) -> Result<Self::Value, E> {
+        Err(E::custom(format_args!("unexpected bool `{v}`")))
+    }
+    /// Visit an `i8` (widens to `visit_i64`).
+    fn visit_i8<E: Error>(self, v: i8) -> Result<Self::Value, E> {
+        self.visit_i64(v as i64)
+    }
+    /// Visit an `i16` (widens to `visit_i64`).
+    fn visit_i16<E: Error>(self, v: i16) -> Result<Self::Value, E> {
+        self.visit_i64(v as i64)
+    }
+    /// Visit an `i32` (widens to `visit_i64`).
+    fn visit_i32<E: Error>(self, v: i32) -> Result<Self::Value, E> {
+        self.visit_i64(v as i64)
+    }
+    /// Visit an `i64`.
+    fn visit_i64<E: Error>(self, v: i64) -> Result<Self::Value, E> {
+        Err(E::custom(format_args!("unexpected integer `{v}`")))
+    }
+    /// Visit an `i128`.
+    fn visit_i128<E: Error>(self, v: i128) -> Result<Self::Value, E> {
+        Err(E::custom(format_args!("unexpected integer `{v}`")))
+    }
+    /// Visit a `u8` (widens to `visit_u64`).
+    fn visit_u8<E: Error>(self, v: u8) -> Result<Self::Value, E> {
+        self.visit_u64(v as u64)
+    }
+    /// Visit a `u16` (widens to `visit_u64`).
+    fn visit_u16<E: Error>(self, v: u16) -> Result<Self::Value, E> {
+        self.visit_u64(v as u64)
+    }
+    /// Visit a `u32` (widens to `visit_u64`).
+    fn visit_u32<E: Error>(self, v: u32) -> Result<Self::Value, E> {
+        self.visit_u64(v as u64)
+    }
+    /// Visit a `u64`.
+    fn visit_u64<E: Error>(self, v: u64) -> Result<Self::Value, E> {
+        Err(E::custom(format_args!("unexpected unsigned integer `{v}`")))
+    }
+    /// Visit a `u128`.
+    fn visit_u128<E: Error>(self, v: u128) -> Result<Self::Value, E> {
+        Err(E::custom(format_args!("unexpected unsigned integer `{v}`")))
+    }
+    /// Visit an `f32` (widens to `visit_f64`).
+    fn visit_f32<E: Error>(self, v: f32) -> Result<Self::Value, E> {
+        self.visit_f64(v as f64)
+    }
+    /// Visit an `f64`.
+    fn visit_f64<E: Error>(self, v: f64) -> Result<Self::Value, E> {
+        Err(E::custom(format_args!("unexpected float `{v}`")))
+    }
+    /// Visit a `char` (narrows to `visit_str`).
+    fn visit_char<E: Error>(self, v: char) -> Result<Self::Value, E> {
+        self.visit_str(v.encode_utf8(&mut [0u8; 4]))
+    }
+    /// Visit a borrowed string.
+    fn visit_str<E: Error>(self, v: &str) -> Result<Self::Value, E> {
+        Err(E::custom(format_args!("unexpected string {v:?}")))
+    }
+    /// Visit a string borrowed from the input.
+    fn visit_borrowed_str<E: Error>(self, v: &'de str) -> Result<Self::Value, E> {
+        self.visit_str(v)
+    }
+    /// Visit an owned string.
+    fn visit_string<E: Error>(self, v: String) -> Result<Self::Value, E> {
+        self.visit_str(&v)
+    }
+    /// Visit borrowed bytes.
+    fn visit_bytes<E: Error>(self, v: &[u8]) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(E::custom("unexpected bytes"))
+    }
+    /// Visit an owned byte buffer.
+    fn visit_byte_buf<E: Error>(self, v: Vec<u8>) -> Result<Self::Value, E> {
+        self.visit_bytes(&v)
+    }
+    /// Visit an absent optional.
+    fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+        Err(E::custom("unexpected none"))
+    }
+    /// Visit a present optional.
+    fn visit_some<D>(self, deserializer: D) -> Result<Self::Value, D::Error>
+    where
+        D: Deserializer<'de>,
+    {
+        let _ = deserializer;
+        Err(D::Error::custom("unexpected some"))
+    }
+    /// Visit a unit.
+    fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+        Err(E::custom("unexpected unit"))
+    }
+    /// Visit a newtype struct.
+    fn visit_newtype_struct<D>(self, deserializer: D) -> Result<Self::Value, D::Error>
+    where
+        D: Deserializer<'de>,
+    {
+        let _ = deserializer;
+        Err(D::Error::custom("unexpected newtype struct"))
+    }
+    /// Visit a sequence.
+    fn visit_seq<A>(self, seq: A) -> Result<Self::Value, A::Error>
+    where
+        A: SeqAccess<'de>,
+    {
+        let _ = seq;
+        Err(A::Error::custom("unexpected sequence"))
+    }
+    /// Visit a map.
+    fn visit_map<A>(self, map: A) -> Result<Self::Value, A::Error>
+    where
+        A: MapAccess<'de>,
+    {
+        let _ = map;
+        Err(A::Error::custom("unexpected map"))
+    }
+    /// Visit an enum.
+    fn visit_enum<A>(self, data: A) -> Result<Self::Value, A::Error>
+    where
+        A: EnumAccess<'de>,
+    {
+        let _ = data;
+        Err(A::Error::custom("unexpected enum"))
+    }
+}
+
+/// Iterative access to a sequence's elements.
+pub trait SeqAccess<'de> {
+    /// Error type.
+    type Error: Error;
+
+    /// Next element through a seed.
+    fn next_element_seed<T>(&mut self, seed: T) -> Result<Option<T::Value>, Self::Error>
+    where
+        T: DeserializeSeed<'de>;
+
+    /// Next element.
+    fn next_element<T>(&mut self) -> Result<Option<T>, Self::Error>
+    where
+        T: Deserialize<'de>,
+    {
+        self.next_element_seed(PhantomData)
+    }
+
+    /// Remaining length when known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Iterative access to a map's entries.
+pub trait MapAccess<'de> {
+    /// Error type.
+    type Error: Error;
+
+    /// Next key through a seed.
+    fn next_key_seed<K>(&mut self, seed: K) -> Result<Option<K::Value>, Self::Error>
+    where
+        K: DeserializeSeed<'de>;
+
+    /// Value for the pending key, through a seed.
+    fn next_value_seed<V>(&mut self, seed: V) -> Result<V::Value, Self::Error>
+    where
+        V: DeserializeSeed<'de>;
+
+    /// Next key.
+    fn next_key<K>(&mut self) -> Result<Option<K>, Self::Error>
+    where
+        K: Deserialize<'de>,
+    {
+        self.next_key_seed(PhantomData)
+    }
+
+    /// Value for the pending key.
+    fn next_value<V>(&mut self) -> Result<V, Self::Error>
+    where
+        V: Deserialize<'de>,
+    {
+        self.next_value_seed(PhantomData)
+    }
+
+    /// Next full entry.
+    fn next_entry<K, V>(&mut self) -> Result<Option<(K, V)>, Self::Error>
+    where
+        K: Deserialize<'de>,
+        V: Deserialize<'de>,
+    {
+        match self.next_key()? {
+            Some(key) => Ok(Some((key, self.next_value()?))),
+            None => Ok(None),
+        }
+    }
+
+    /// Remaining length when known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Access to an enum's variant name plus its content.
+pub trait EnumAccess<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+    /// Content accessor paired with the decoded variant name.
+    type Variant: VariantAccess<'de, Error = Self::Error>;
+
+    /// Decode the variant identifier through a seed.
+    fn variant_seed<V>(self, seed: V) -> Result<(V::Value, Self::Variant), Self::Error>
+    where
+        V: DeserializeSeed<'de>;
+
+    /// Decode the variant identifier.
+    fn variant<V>(self) -> Result<(V, Self::Variant), Self::Error>
+    where
+        V: Deserialize<'de>,
+    {
+        self.variant_seed(PhantomData)
+    }
+}
+
+/// Access to one enum variant's content.
+pub trait VariantAccess<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// The variant is a unit variant.
+    fn unit_variant(self) -> Result<(), Self::Error>;
+
+    /// The variant is a newtype variant, decoded through a seed.
+    fn newtype_variant_seed<T>(self, seed: T) -> Result<T::Value, Self::Error>
+    where
+        T: DeserializeSeed<'de>;
+
+    /// The variant is a newtype variant.
+    fn newtype_variant<T>(self) -> Result<T, Self::Error>
+    where
+        T: Deserialize<'de>,
+    {
+        self.newtype_variant_seed(PhantomData)
+    }
+
+    /// The variant is a tuple variant.
+    fn tuple_variant<V>(self, len: usize, visitor: V) -> Result<V::Value, Self::Error>
+    where
+        V: Visitor<'de>;
+
+    /// The variant is a struct variant.
+    fn struct_variant<V>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>
+    where
+        V: Visitor<'de>;
+}
+
+/// Conversion into a `Deserializer` with a chosen error type.
+pub trait IntoDeserializer<'de, E: Error> {
+    /// The produced deserializer.
+    type Deserializer: Deserializer<'de, Error = E>;
+
+    /// Perform the conversion.
+    fn into_deserializer(self) -> Self::Deserializer;
+}
+
+/// Efficiently discards whatever it deserializes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IgnoredAny;
+
+impl<'de> Deserialize<'de> for IgnoredAny {
+    fn deserialize<D>(deserializer: D) -> Result<Self, D::Error>
+    where
+        D: Deserializer<'de>,
+    {
+        deserializer.deserialize_ignored_any(IgnoredAny)
+    }
+}
+
+impl<'de> Visitor<'de> for IgnoredAny {
+    type Value = IgnoredAny;
+
+    fn expecting(&self, formatter: &mut fmt::Formatter) -> fmt::Result {
+        formatter.write_str("anything at all")
+    }
+
+    fn visit_bool<E: Error>(self, _: bool) -> Result<IgnoredAny, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_i64<E: Error>(self, _: i64) -> Result<IgnoredAny, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_i128<E: Error>(self, _: i128) -> Result<IgnoredAny, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_u64<E: Error>(self, _: u64) -> Result<IgnoredAny, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_u128<E: Error>(self, _: u128) -> Result<IgnoredAny, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_f64<E: Error>(self, _: f64) -> Result<IgnoredAny, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_str<E: Error>(self, _: &str) -> Result<IgnoredAny, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_bytes<E: Error>(self, _: &[u8]) -> Result<IgnoredAny, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_none<E: Error>(self) -> Result<IgnoredAny, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_some<D>(self, deserializer: D) -> Result<IgnoredAny, D::Error>
+    where
+        D: Deserializer<'de>,
+    {
+        deserializer.deserialize_ignored_any(IgnoredAny)
+    }
+    fn visit_unit<E: Error>(self) -> Result<IgnoredAny, E> {
+        Ok(IgnoredAny)
+    }
+    fn visit_newtype_struct<D>(self, deserializer: D) -> Result<IgnoredAny, D::Error>
+    where
+        D: Deserializer<'de>,
+    {
+        deserializer.deserialize_ignored_any(IgnoredAny)
+    }
+    fn visit_seq<A>(self, mut seq: A) -> Result<IgnoredAny, A::Error>
+    where
+        A: SeqAccess<'de>,
+    {
+        while seq.next_element::<IgnoredAny>()?.is_some() {}
+        Ok(IgnoredAny)
+    }
+    fn visit_map<A>(self, mut map: A) -> Result<IgnoredAny, A::Error>
+    where
+        A: MapAccess<'de>,
+    {
+        while map.next_entry::<IgnoredAny, IgnoredAny>()?.is_some() {}
+        Ok(IgnoredAny)
+    }
+}
+
+/// Ready-made deserializers over plain Rust values.
+pub mod value {
+    use super::*;
+
+    /// Deserializer yielding an owned `String`.
+    pub struct StringDeserializer<E> {
+        value: String,
+        marker: PhantomData<E>,
+    }
+
+    impl<E> StringDeserializer<E> {
+        /// Wrap a string.
+        pub fn new(value: String) -> Self {
+            StringDeserializer { value, marker: PhantomData }
+        }
+    }
+
+    impl<'de, E: Error> IntoDeserializer<'de, E> for String {
+        type Deserializer = StringDeserializer<E>;
+        fn into_deserializer(self) -> StringDeserializer<E> {
+            StringDeserializer::new(self)
+        }
+    }
+
+    impl<'de, E: Error> Deserializer<'de> for StringDeserializer<E> {
+        type Error = E;
+
+        fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+            visitor.visit_string(self.value)
+        }
+
+        fn deserialize_enum<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            _variants: &'static [&'static str],
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            visitor.visit_enum(self)
+        }
+
+        crate::forward_to_deserialize_any! {
+            bool i8 i16 i32 i64 i128 u8 u16 u32 u64 u128 f32 f64 char str string
+            bytes byte_buf option unit unit_struct newtype_struct seq tuple
+            tuple_struct map struct identifier ignored_any
+        }
+    }
+
+    impl<'de, E: Error> EnumAccess<'de> for StringDeserializer<E> {
+        type Error = E;
+        type Variant = UnitOnly<E>;
+
+        fn variant_seed<V>(self, seed: V) -> Result<(V::Value, UnitOnly<E>), E>
+        where
+            V: DeserializeSeed<'de>,
+        {
+            let name = seed.deserialize(StringDeserializer::new(self.value))?;
+            Ok((name, UnitOnly { marker: PhantomData }))
+        }
+    }
+
+    /// Variant accessor admitting only unit variants (string-encoded enums).
+    pub struct UnitOnly<E> {
+        marker: PhantomData<E>,
+    }
+
+    impl<'de, E: Error> VariantAccess<'de> for UnitOnly<E> {
+        type Error = E;
+
+        fn unit_variant(self) -> Result<(), E> {
+            Ok(())
+        }
+
+        fn newtype_variant_seed<T>(self, _seed: T) -> Result<T::Value, E>
+        where
+            T: DeserializeSeed<'de>,
+        {
+            Err(E::custom("newtype variant content on a string-encoded enum"))
+        }
+
+        fn tuple_variant<V: Visitor<'de>>(self, _len: usize, _visitor: V) -> Result<V::Value, E> {
+            Err(E::custom("tuple variant content on a string-encoded enum"))
+        }
+
+        fn struct_variant<V: Visitor<'de>>(
+            self,
+            _fields: &'static [&'static str],
+            _visitor: V,
+        ) -> Result<V::Value, E> {
+            Err(E::custom("struct variant content on a string-encoded enum"))
+        }
+    }
+
+    /// `SeqAccess` over an iterator of values convertible to deserializers.
+    pub struct SeqDeserializer<I, E> {
+        iter: I,
+        marker: PhantomData<E>,
+    }
+
+    impl<I, E> SeqDeserializer<I, E> {
+        /// Wrap an iterator.
+        pub fn new(iter: I) -> Self {
+            SeqDeserializer { iter, marker: PhantomData }
+        }
+    }
+
+    impl<'de, I, E> SeqAccess<'de> for SeqDeserializer<I, E>
+    where
+        I: Iterator,
+        I::Item: IntoDeserializer<'de, E>,
+        E: Error,
+    {
+        type Error = E;
+
+        fn next_element_seed<T>(&mut self, seed: T) -> Result<Option<T::Value>, E>
+        where
+            T: DeserializeSeed<'de>,
+        {
+            match self.iter.next() {
+                Some(item) => seed.deserialize(item.into_deserializer()).map(Some),
+                None => Ok(None),
+            }
+        }
+
+        fn size_hint(&self) -> Option<usize> {
+            match self.iter.size_hint() {
+                (lo, Some(hi)) if lo == hi => Some(lo),
+                _ => None,
+            }
+        }
+    }
+
+    /// `MapAccess` over an iterator of key/value pairs.
+    pub struct MapDeserializer<I, K, V, E>
+    where
+        I: Iterator<Item = (K, V)>,
+    {
+        iter: I,
+        pending: Option<V>,
+        marker: PhantomData<E>,
+    }
+
+    impl<I, K, V, E> MapDeserializer<I, K, V, E>
+    where
+        I: Iterator<Item = (K, V)>,
+    {
+        /// Wrap an iterator of entries.
+        pub fn new(iter: I) -> Self {
+            MapDeserializer { iter, pending: None, marker: PhantomData }
+        }
+    }
+
+    impl<'de, I, K, V, E> MapAccess<'de> for MapDeserializer<I, K, V, E>
+    where
+        I: Iterator<Item = (K, V)>,
+        K: IntoDeserializer<'de, E>,
+        V: IntoDeserializer<'de, E>,
+        E: Error,
+    {
+        type Error = E;
+
+        fn next_key_seed<S>(&mut self, seed: S) -> Result<Option<S::Value>, E>
+        where
+            S: DeserializeSeed<'de>,
+        {
+            match self.iter.next() {
+                Some((key, value)) => {
+                    self.pending = Some(value);
+                    seed.deserialize(key.into_deserializer()).map(Some)
+                }
+                None => Ok(None),
+            }
+        }
+
+        fn next_value_seed<S>(&mut self, seed: S) -> Result<S::Value, E>
+        where
+            S: DeserializeSeed<'de>,
+        {
+            let value = self
+                .pending
+                .take()
+                .ok_or_else(|| E::custom("next_value_seed called before next_key_seed"))?;
+            seed.deserialize(value.into_deserializer())
+        }
+
+        fn size_hint(&self) -> Option<usize> {
+            match self.iter.size_hint() {
+                (lo, Some(hi)) if lo == hi => Some(lo),
+                _ => None,
+            }
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Offline subset of the `serde` data model.
+//!
+//! Implements the serialization/deserialization trait surface this
+//! workspace programs against — `Serialize`/`Deserialize`, the full
+//! `Serializer`/`Deserializer` method set, visitors, seq/map/enum access,
+//! `de::value::{SeqDeserializer, MapDeserializer, StringDeserializer}`,
+//! `forward_to_deserialize_any!` and the `Serialize`/`Deserialize` derive
+//! macros (re-exported from the vendored `serde_derive`). Formats are
+//! provided by the user crate (see `cpo_model::io::json_value`), exactly
+//! as with real serde.
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+pub use serde_derive::{Deserialize, Serialize};
+
+mod impls;
+
+/// Forward the listed `deserialize_*` methods to `deserialize_any`.
+///
+/// Mirrors serde's macro of the same name, including the per-method
+/// signatures (`unit_struct`, `tuple`, `tuple_struct`, `struct`, `enum`
+/// take extra arguments before the visitor).
+#[macro_export]
+macro_rules! forward_to_deserialize_any {
+    (<$visitor:ident: Visitor<$lifetime:tt>> $($func:ident)*) => {
+        $($crate::forward_to_deserialize_any_helper!{$func<$lifetime>})*
+    };
+    ($($func:ident)*) => {
+        $($crate::forward_to_deserialize_any_helper!{$func<'de>})*
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! forward_to_deserialize_any_method {
+    ($func:ident<$l:tt>($($arg:ident : $ty:ty),*)) => {
+        fn $func<V>(self, $($arg: $ty,)* visitor: V) -> std::result::Result<V::Value, Self::Error>
+        where
+            V: $crate::de::Visitor<$l>,
+        {
+            $(let _ = $arg;)*
+            self.deserialize_any(visitor)
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! forward_to_deserialize_any_helper {
+    (bool<$l:tt>) => { $crate::forward_to_deserialize_any_method!{deserialize_bool<$l>()} };
+    (i8<$l:tt>) => { $crate::forward_to_deserialize_any_method!{deserialize_i8<$l>()} };
+    (i16<$l:tt>) => { $crate::forward_to_deserialize_any_method!{deserialize_i16<$l>()} };
+    (i32<$l:tt>) => { $crate::forward_to_deserialize_any_method!{deserialize_i32<$l>()} };
+    (i64<$l:tt>) => { $crate::forward_to_deserialize_any_method!{deserialize_i64<$l>()} };
+    (i128<$l:tt>) => { $crate::forward_to_deserialize_any_method!{deserialize_i128<$l>()} };
+    (u8<$l:tt>) => { $crate::forward_to_deserialize_any_method!{deserialize_u8<$l>()} };
+    (u16<$l:tt>) => { $crate::forward_to_deserialize_any_method!{deserialize_u16<$l>()} };
+    (u32<$l:tt>) => { $crate::forward_to_deserialize_any_method!{deserialize_u32<$l>()} };
+    (u64<$l:tt>) => { $crate::forward_to_deserialize_any_method!{deserialize_u64<$l>()} };
+    (u128<$l:tt>) => { $crate::forward_to_deserialize_any_method!{deserialize_u128<$l>()} };
+    (f32<$l:tt>) => { $crate::forward_to_deserialize_any_method!{deserialize_f32<$l>()} };
+    (f64<$l:tt>) => { $crate::forward_to_deserialize_any_method!{deserialize_f64<$l>()} };
+    (char<$l:tt>) => { $crate::forward_to_deserialize_any_method!{deserialize_char<$l>()} };
+    (str<$l:tt>) => { $crate::forward_to_deserialize_any_method!{deserialize_str<$l>()} };
+    (string<$l:tt>) => { $crate::forward_to_deserialize_any_method!{deserialize_string<$l>()} };
+    (bytes<$l:tt>) => { $crate::forward_to_deserialize_any_method!{deserialize_bytes<$l>()} };
+    (byte_buf<$l:tt>) => { $crate::forward_to_deserialize_any_method!{deserialize_byte_buf<$l>()} };
+    (option<$l:tt>) => { $crate::forward_to_deserialize_any_method!{deserialize_option<$l>()} };
+    (unit<$l:tt>) => { $crate::forward_to_deserialize_any_method!{deserialize_unit<$l>()} };
+    (unit_struct<$l:tt>) => { $crate::forward_to_deserialize_any_method!{deserialize_unit_struct<$l>(name: &'static str)} };
+    (newtype_struct<$l:tt>) => { $crate::forward_to_deserialize_any_method!{deserialize_newtype_struct<$l>(name: &'static str)} };
+    (seq<$l:tt>) => { $crate::forward_to_deserialize_any_method!{deserialize_seq<$l>()} };
+    (tuple<$l:tt>) => { $crate::forward_to_deserialize_any_method!{deserialize_tuple<$l>(len: usize)} };
+    (tuple_struct<$l:tt>) => { $crate::forward_to_deserialize_any_method!{deserialize_tuple_struct<$l>(name: &'static str, len: usize)} };
+    (map<$l:tt>) => { $crate::forward_to_deserialize_any_method!{deserialize_map<$l>()} };
+    (struct<$l:tt>) => { $crate::forward_to_deserialize_any_method!{deserialize_struct<$l>(name: &'static str, fields: &'static [&'static str])} };
+    (enum<$l:tt>) => { $crate::forward_to_deserialize_any_method!{deserialize_enum<$l>(name: &'static str, variants: &'static [&'static str])} };
+    (identifier<$l:tt>) => { $crate::forward_to_deserialize_any_method!{deserialize_identifier<$l>()} };
+    (ignored_any<$l:tt>) => { $crate::forward_to_deserialize_any_method!{deserialize_ignored_any<$l>()} };
+}

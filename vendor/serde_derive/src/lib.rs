@@ -1,0 +1,538 @@
+//! Offline subset of `serde_derive`.
+//!
+//! Derives `Serialize`/`Deserialize` for the shapes this workspace uses —
+//! non-generic structs with named fields and non-generic enums with unit,
+//! newtype, tuple and struct variants — supporting the `#[serde(default)]`
+//! and `#[serde(skip_serializing)]` field attributes. Parsing is done
+//! directly on the token stream (no `syn`/`quote`), which is exactly
+//! enough for this repository's types; unsupported shapes produce a
+//! `compile_error!` naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Clone, Default)]
+struct FieldAttrs {
+    default: bool,
+    skip_serializing: bool,
+}
+
+#[derive(Debug, Clone)]
+struct Field {
+    name: String,
+    attrs: FieldAttrs,
+}
+
+#[derive(Debug, Clone)]
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug, Clone)]
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+#[derive(Debug)]
+enum Input {
+    Struct { name: String, fields: Vec<Field> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("valid compile_error")
+}
+
+/// Skip a `#[...]` attribute at `*i`; returns its bracket group when one
+/// was present.
+fn take_attr(tokens: &[TokenTree], i: &mut usize) -> Option<TokenStream> {
+    match (tokens.get(*i), tokens.get(*i + 1)) {
+        (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+            if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+        {
+            *i += 2;
+            Some(g.stream())
+        }
+        _ => None,
+    }
+}
+
+/// Interpret a `serde(...)` attribute body, updating field attrs.
+fn apply_serde_attr(attr: TokenStream, attrs: &mut FieldAttrs) -> Result<(), String> {
+    let trees: Vec<TokenTree> = attr.into_iter().collect();
+    match (trees.first(), trees.get(1)) {
+        (Some(TokenTree::Ident(name)), Some(TokenTree::Group(g)))
+            if name.to_string() == "serde" && g.delimiter() == Delimiter::Parenthesis =>
+        {
+            for item in g.stream() {
+                match item {
+                    TokenTree::Ident(opt) => match opt.to_string().as_str() {
+                        "default" => attrs.default = true,
+                        "skip_serializing" => attrs.skip_serializing = true,
+                        other => {
+                            return Err(format!(
+                                "unsupported serde attribute `{other}` (vendored derive)"
+                            ))
+                        }
+                    },
+                    TokenTree::Punct(p) if p.as_char() == ',' => {}
+                    other => {
+                        return Err(format!(
+                            "unsupported serde attribute syntax `{other}` (vendored derive)"
+                        ))
+                    }
+                }
+            }
+            Ok(())
+        }
+        _ => Ok(()), // non-serde attribute (doc comment, derive, ...)
+    }
+}
+
+/// Skip a visibility qualifier (`pub`, `pub(crate)`, ...).
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+/// Parse the named fields inside a brace group.
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut attrs = FieldAttrs::default();
+        while let Some(body) = take_attr(&tokens, &mut i) {
+            apply_serde_attr(body, &mut attrs)?;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, found {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{name}`, found {other:?}")),
+        }
+        // Consume the type: everything up to a comma at angle-bracket depth 0.
+        let mut depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        fields.push(Field { name, attrs });
+    }
+    Ok(fields)
+}
+
+/// Count the top-level comma-separated items of a paren group.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut saw_any = false;
+    for tok in stream {
+        match tok {
+            TokenTree::Punct(ref p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(ref p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(ref p) if p.as_char() == ',' && depth == 0 => {
+                count += 1;
+                saw_any = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_any = true;
+    }
+    if saw_any {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        while take_attr(&tokens, &mut i).is_some() {}
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, found {other:?}")),
+        };
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Struct(parse_named_fields(g.stream())?)
+            }
+            _ => VariantShape::Unit,
+        };
+        match tokens.get(i) {
+            None => {}
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(other) => {
+                return Err(format!(
+                    "unsupported token {other:?} after variant `{name}` (discriminants are \
+                     not supported by the vendored derive)"
+                ))
+            }
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    while take_attr(&tokens, &mut i).is_some() {}
+    skip_visibility(&tokens, &mut i);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) if id.to_string() == "struct" => "struct",
+        Some(TokenTree::Ident(id)) if id.to_string() == "enum" => "enum",
+        other => {
+            return Err(format!(
+                "vendored serde derive supports structs and enums only, found {other:?}"
+            ))
+        }
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde derive does not support generic type `{name}`"
+        ));
+    }
+    match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kind == "struct" {
+                Ok(Input::Struct { name, fields: parse_named_fields(g.stream())? })
+            } else {
+                Ok(Input::Enum { name, variants: parse_variants(g.stream())? })
+            }
+        }
+        other => Err(format!(
+            "vendored serde derive supports only braced bodies for `{name}`, found {other:?}"
+        )),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Serialize
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(input: &Input) -> String {
+    let mut out = String::new();
+    match input {
+        Input::Struct { name, fields } => {
+            let kept: Vec<&Field> =
+                fields.iter().filter(|f| !f.attrs.skip_serializing).collect();
+            out.push_str(&format!(
+                "impl _serde::Serialize for {name} {{\n\
+                 fn serialize<__S: _serde::Serializer>(&self, __serializer: __S) \
+                 -> std::result::Result<__S::Ok, __S::Error> {{\n\
+                 let mut __state = _serde::Serializer::serialize_struct(__serializer, \
+                 \"{name}\", {len})?;\n",
+                len = kept.len()
+            ));
+            for field in &kept {
+                out.push_str(&format!(
+                    "_serde::ser::SerializeStruct::serialize_field(&mut __state, \
+                     \"{f}\", &self.{f})?;\n",
+                    f = field.name
+                ));
+            }
+            out.push_str("_serde::ser::SerializeStruct::end(__state)\n}\n}\n");
+        }
+        Input::Enum { name, variants } => {
+            out.push_str(&format!(
+                "impl _serde::Serialize for {name} {{\n\
+                 fn serialize<__S: _serde::Serializer>(&self, __serializer: __S) \
+                 -> std::result::Result<__S::Ok, __S::Error> {{\n\
+                 match self {{\n"
+            ));
+            for (idx, variant) in variants.iter().enumerate() {
+                let v = &variant.name;
+                match &variant.shape {
+                    VariantShape::Unit => out.push_str(&format!(
+                        "{name}::{v} => _serde::Serializer::serialize_unit_variant(\
+                         __serializer, \"{name}\", {idx}u32, \"{v}\"),\n"
+                    )),
+                    VariantShape::Tuple(1) => out.push_str(&format!(
+                        "{name}::{v}(__f0) => _serde::Serializer::serialize_newtype_variant(\
+                         __serializer, \"{name}\", {idx}u32, \"{v}\", __f0),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        out.push_str(&format!(
+                            "{name}::{v}({binds}) => {{\n\
+                             let mut __tv = _serde::Serializer::serialize_tuple_variant(\
+                             __serializer, \"{name}\", {idx}u32, \"{v}\", {n})?;\n",
+                            binds = binders.join(", ")
+                        ));
+                        for b in &binders {
+                            out.push_str(&format!(
+                                "_serde::ser::SerializeTupleVariant::serialize_field(\
+                                 &mut __tv, {b})?;\n"
+                            ));
+                        }
+                        out.push_str("_serde::ser::SerializeTupleVariant::end(__tv)\n}\n");
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binders: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        out.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => {{\n\
+                             let mut __sv = _serde::Serializer::serialize_struct_variant(\
+                             __serializer, \"{name}\", {idx}u32, \"{v}\", {n})?;\n",
+                            binds = binders.join(", "),
+                            n = fields.len()
+                        ));
+                        for f in fields {
+                            out.push_str(&format!(
+                                "_serde::ser::SerializeStructVariant::serialize_field(\
+                                 &mut __sv, \"{f}\", {f})?;\n",
+                                f = f.name
+                            ));
+                        }
+                        out.push_str("_serde::ser::SerializeStructVariant::end(__sv)\n}\n");
+                    }
+                }
+            }
+            out.push_str("}\n}\n}\n");
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize
+// ---------------------------------------------------------------------------
+
+/// Generate a `visit_map` body building `constructor { field: ... }`.
+fn gen_struct_visit_map(constructor: &str, fields: &[Field]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "fn visit_map<__A: _serde::de::MapAccess<'de>>(self, mut __map: __A) \
+         -> std::result::Result<Self::Value, __A::Error> {\n",
+    );
+    for field in fields {
+        out.push_str(&format!(
+            "let mut __field_{f} = std::option::Option::None;\n",
+            f = field.name
+        ));
+    }
+    out.push_str(
+        "while let std::option::Option::Some(__key) = \
+         _serde::de::MapAccess::next_key::<std::string::String>(&mut __map)? {\n\
+         match __key.as_str() {\n",
+    );
+    for field in fields {
+        out.push_str(&format!(
+            "\"{f}\" => {{ __field_{f} = std::option::Option::Some(\
+             _serde::de::MapAccess::next_value(&mut __map)?); }}\n",
+            f = field.name
+        ));
+    }
+    out.push_str(
+        "_ => { let _ = _serde::de::MapAccess::next_value::<_serde::de::IgnoredAny>\
+         (&mut __map)?; }\n}\n}\n",
+    );
+    out.push_str(&format!("std::result::Result::Ok({constructor} {{\n"));
+    for field in fields {
+        if field.attrs.default {
+            out.push_str(&format!(
+                "{f}: __field_{f}.unwrap_or_default(),\n",
+                f = field.name
+            ));
+        } else {
+            out.push_str(&format!(
+                "{f}: match __field_{f} {{\n\
+                 std::option::Option::Some(__value) => __value,\n\
+                 std::option::Option::None => return std::result::Result::Err(\
+                 _serde::de::Error::missing_field(\"{f}\")),\n}},\n",
+                f = field.name
+            ));
+        }
+    }
+    out.push_str("})\n}\n");
+    out
+}
+
+fn field_name_list(fields: &[Field]) -> String {
+    fields
+        .iter()
+        .map(|f| format!("\"{}\"", f.name))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let mut out = String::new();
+    match input {
+        Input::Struct { name, fields } => {
+            out.push_str(&format!(
+                "impl<'de> _serde::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<__D: _serde::Deserializer<'de>>(__deserializer: __D) \
+                 -> std::result::Result<Self, __D::Error> {{\n\
+                 struct __Visitor;\n\
+                 impl<'de> _serde::de::Visitor<'de> for __Visitor {{\n\
+                 type Value = {name};\n\
+                 fn expecting(&self, __f: &mut std::fmt::Formatter) -> std::fmt::Result {{\n\
+                 __f.write_str(\"struct {name}\")\n}}\n"
+            ));
+            out.push_str(&gen_struct_visit_map(name, fields));
+            out.push_str(&format!(
+                "}}\n\
+                 _serde::Deserializer::deserialize_struct(__deserializer, \"{name}\", \
+                 &[{fields}], __Visitor)\n}}\n}}\n",
+                fields = field_name_list(fields)
+            ));
+        }
+        Input::Enum { name, variants } => {
+            let variant_names = variants
+                .iter()
+                .map(|v| format!("\"{}\"", v.name))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!(
+                "impl<'de> _serde::Deserialize<'de> for {name} {{\n\
+                 fn deserialize<__D: _serde::Deserializer<'de>>(__deserializer: __D) \
+                 -> std::result::Result<Self, __D::Error> {{\n\
+                 struct __Visitor;\n\
+                 impl<'de> _serde::de::Visitor<'de> for __Visitor {{\n\
+                 type Value = {name};\n\
+                 fn expecting(&self, __f: &mut std::fmt::Formatter) -> std::fmt::Result {{\n\
+                 __f.write_str(\"enum {name}\")\n}}\n\
+                 fn visit_enum<__A: _serde::de::EnumAccess<'de>>(self, __data: __A) \
+                 -> std::result::Result<Self::Value, __A::Error> {{\n\
+                 let (__variant, __content): (std::string::String, __A::Variant) = \
+                 _serde::de::EnumAccess::variant(__data)?;\n\
+                 match __variant.as_str() {{\n"
+            ));
+            for variant in variants {
+                let v = &variant.name;
+                match &variant.shape {
+                    VariantShape::Unit => out.push_str(&format!(
+                        "\"{v}\" => {{\n\
+                         _serde::de::VariantAccess::unit_variant(__content)?;\n\
+                         std::result::Result::Ok({name}::{v})\n}}\n"
+                    )),
+                    VariantShape::Tuple(1) => out.push_str(&format!(
+                        "\"{v}\" => std::result::Result::Ok({name}::{v}(\
+                         _serde::de::VariantAccess::newtype_variant(__content)?)),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        out.push_str(&format!(
+                            "\"{v}\" => {{\n\
+                             struct __TupleVisitor;\n\
+                             impl<'de> _serde::de::Visitor<'de> for __TupleVisitor {{\n\
+                             type Value = {name};\n\
+                             fn visit_seq<__A: _serde::de::SeqAccess<'de>>(self, \
+                             mut __seq: __A) -> std::result::Result<Self::Value, __A::Error> {{\n"
+                        ));
+                        for k in 0..*n {
+                            out.push_str(&format!(
+                                "let __f{k} = match _serde::de::SeqAccess::next_element(\
+                                 &mut __seq)? {{\n\
+                                 std::option::Option::Some(__value) => __value,\n\
+                                 std::option::Option::None => return \
+                                 std::result::Result::Err(_serde::de::Error::invalid_length(\
+                                 {k}, &{n}usize)),\n}};\n"
+                            ));
+                        }
+                        let binders: Vec<String> = (0..*n).map(|k| format!("__f{k}")).collect();
+                        out.push_str(&format!(
+                            "std::result::Result::Ok({name}::{v}({binds}))\n}}\n}}\n\
+                             _serde::de::VariantAccess::tuple_variant(__content, {n}, \
+                             __TupleVisitor)\n}}\n",
+                            binds = binders.join(", ")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        out.push_str(&format!(
+                            "\"{v}\" => {{\n\
+                             struct __StructVisitor;\n\
+                             impl<'de> _serde::de::Visitor<'de> for __StructVisitor {{\n\
+                             type Value = {name};\n"
+                        ));
+                        out.push_str(&gen_struct_visit_map(&format!("{name}::{v}"), fields));
+                        out.push_str(&format!(
+                            "}}\n\
+                             _serde::de::VariantAccess::struct_variant(__content, \
+                             &[{fields}], __StructVisitor)\n}}\n",
+                            fields = field_name_list(fields)
+                        ));
+                    }
+                }
+            }
+            out.push_str(&format!(
+                "__other => std::result::Result::Err(_serde::de::Error::unknown_variant(\
+                 __other, &[{variant_names}])),\n\
+                 }}\n}}\n}}\n\
+                 _serde::Deserializer::deserialize_enum(__deserializer, \"{name}\", \
+                 &[{variant_names}], __Visitor)\n}}\n}}\n"
+            ));
+        }
+    }
+    out
+}
+
+fn wrap(body: String) -> TokenStream {
+    format!(
+        "const _: () = {{\n\
+         extern crate serde as _serde;\n\
+         {body}\n\
+         }};"
+    )
+    .parse()
+    .expect("derive output parses")
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => wrap(gen_serialize(&parsed)),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_input(input) {
+        Ok(parsed) => wrap(gen_deserialize(&parsed)),
+        Err(msg) => compile_error(&msg),
+    }
+}
