@@ -4,3 +4,48 @@
 
 pub mod period_energy;
 pub mod period_latency;
+
+use crate::dp::{HomCtx, IntervalCostTable};
+use cpo_model::platform::{Links, Platform, PlatformClass};
+use cpo_model::prelude::*;
+
+/// Shared speed set and uniform bandwidth of a fully homogeneous platform;
+/// `None` when the platform class is wrong (the interval solvers of
+/// Theorems 15/16/18/21 only apply to fully homogeneous platforms).
+pub(crate) fn fully_hom_params(platform: &Platform) -> Option<(Vec<f64>, f64)> {
+    if platform.class() != PlatformClass::FullyHomogeneous {
+        return None;
+    }
+    let b = match &platform.links {
+        Links::Uniform(b) => *b,
+        Links::PerApp(bs) => bs[0],
+        Links::Heterogeneous { .. } => return None,
+    };
+    Some((platform.procs[0].speeds().to_vec(), b))
+}
+
+/// Build one [`IntervalCostTable`] per application for a fully homogeneous
+/// platform — the shared precomputation behind the Theorem 15/18/21 interval
+/// solvers and every Pareto sweep over them. Returns `None` when the
+/// platform class is wrong or `p < A` (no feasible mapping exists then).
+pub fn interval_cost_tables(
+    apps: &AppSet,
+    platform: &Platform,
+    model: CommModel,
+) -> Option<Vec<IntervalCostTable>> {
+    let (speeds, b) = fully_hom_params(platform)?;
+    if platform.p() < apps.a() {
+        return None;
+    }
+    let e_stat = platform.procs[0].e_stat;
+    Some(
+        apps.apps
+            .iter()
+            .map(|app| {
+                let mut ctx = HomCtx::new(app, &speeds, b, model);
+                ctx.e_stat = e_stat;
+                IntervalCostTable::build(&ctx)
+            })
+            .collect(),
+    )
+}

@@ -11,13 +11,154 @@
 //! * **Theorem 21** (interval, fully homogeneous, many applications):
 //!   convolution `E(a, k) = min_q (E_a^q + E(a−1, k−q))` over the
 //!   per-application tables.
+//!
+//! Both solvers come in two forms: the one-shot entry points
+//! ([`min_energy_one_to_one_matching`], [`min_energy_interval_fully_hom`])
+//! and `*_with_*` variants taking prebuilt cost tables
+//! ([`StageCostTable`], [`crate::dp::IntervalCostTable`]) plus reusable
+//! workspaces, which the Pareto sweep engine calls once per candidate
+//! period without re-deriving any per-instance constant.
 
-use crate::dp::{energy_under_period, HomCtx};
+use crate::dp::{energy_under_period_with, EnergyTable, IntervalCostTable};
 use crate::mono::period_interval::mapping_from_partitions;
 use crate::solution::Solution;
-use cpo_matching::hungarian_min_cost;
+use cpo_matching::HungarianWorkspace;
 use cpo_model::num;
 use cpo_model::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Theorem 19 — one-to-one matching
+// ---------------------------------------------------------------------------
+
+/// Precomputed stage × processor cost table for the Theorem 19 matching:
+/// every `cycle(stage, proc, mode)` and per-(proc, mode) energy, so that a
+/// sweep re-solving the matching under many period bounds only binary
+/// searches precomputed rows instead of recomputing `O(N·p·modes)`
+/// cycle-times per candidate.
+#[derive(Debug, Clone)]
+pub struct StageCostTable {
+    p: usize,
+    /// Global stage index → `(application, stage)`.
+    stage_ids: Vec<(usize, usize)>,
+    /// Application weights `W_a` (for global-period candidate scaling).
+    weights: Vec<f64>,
+    /// `proc_off[u] .. proc_off[u + 1]` = mode slots of processor `u`.
+    proc_off: Vec<usize>,
+    /// `cycle[row * total_modes + proc_off[u] + m]`.
+    cycle: Vec<f64>,
+    /// `mode_energy[proc_off[u] + m]` = `E_stat(u) + s_{u,m}^α`.
+    mode_energy: Vec<f64>,
+    total_modes: usize,
+}
+
+impl StageCostTable {
+    /// Build the table. Returns `None` when the links are heterogeneous
+    /// (NP-hard then, Theorem 20) or `p < N` (no one-to-one mapping
+    /// exists).
+    pub fn build(apps: &AppSet, platform: &Platform, model: CommModel) -> Option<Self> {
+        if !crate::mono::links_are_homogeneous(platform) {
+            return None;
+        }
+        let n_total = apps.total_stages();
+        let p = platform.p();
+        if p < n_total {
+            return None;
+        }
+        let energy = EnergyModel::default();
+        let mut proc_off = Vec::with_capacity(p + 1);
+        let mut mode_energy = Vec::new();
+        let mut off = 0usize;
+        for u in 0..p {
+            proc_off.push(off);
+            let proc = &platform.procs[u];
+            for m in 0..proc.modes() {
+                mode_energy.push(energy.proc_energy(platform, u, m));
+            }
+            off += proc.modes();
+        }
+        proc_off.push(off);
+        let total_modes = off;
+
+        let mut stage_ids = Vec::with_capacity(n_total);
+        let mut cycle = Vec::with_capacity(n_total * total_modes);
+        for (a, app) in apps.apps.iter().enumerate() {
+            let b = crate::mono::app_bandwidth(platform, a)?;
+            for k in 0..app.n() {
+                let incoming = app.input_of(k) / b;
+                let outgoing = app.output_of(k) / b;
+                for u in 0..p {
+                    let proc = &platform.procs[u];
+                    for m in 0..proc.modes() {
+                        cycle.push(model.combine(
+                            incoming,
+                            app.stages[k].work / proc.speed(m),
+                            outgoing,
+                        ));
+                    }
+                }
+                stage_ids.push((a, k));
+            }
+        }
+        let weights = apps.apps.iter().map(|a| a.weight).collect();
+        Some(StageCostTable { p, stage_ids, weights, proc_off, cycle, mode_energy, total_modes })
+    }
+
+    /// Number of rows (total stages `N`).
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.stage_ids.len()
+    }
+
+    /// Number of processors (columns).
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.p
+    }
+
+    /// `(application, stage)` of a row.
+    #[inline]
+    pub fn stage_id(&self, row: usize) -> (usize, usize) {
+        self.stage_ids[row]
+    }
+
+    /// Slowest (= cheapest, since `α > 1`) mode of processor `u` meeting
+    /// `bound` for `row`'s stage, by partition-point binary search over the
+    /// descending precomputed cycle-times.
+    pub fn feasible_mode(&self, row: usize, u: usize, bound: f64) -> Option<usize> {
+        let base = row * self.total_modes;
+        let slot = &self.cycle[base + self.proc_off[u]..base + self.proc_off[u + 1]];
+        let m = slot.partition_point(|&c| !num::le(c, bound));
+        (m < slot.len()).then_some(m)
+    }
+
+    /// Fill the stages × processors energy matrix for the given
+    /// per-application period bounds, reusing `matrix`'s allocation.
+    pub fn fill_matrix(&self, period_bounds: &[f64], matrix: &mut Vec<Vec<f64>>) {
+        matrix.resize_with(self.rows(), Vec::new);
+        for (row, out) in matrix.iter_mut().enumerate() {
+            let (a, _) = self.stage_ids[row];
+            let bound = period_bounds[a];
+            out.clear();
+            out.extend((0..self.p).map(|u| {
+                self.feasible_mode(row, u, bound)
+                    .map(|m| self.mode_energy[self.proc_off[u] + m])
+                    .unwrap_or(f64::INFINITY)
+            }));
+        }
+    }
+
+    /// All candidate *global weighted* period values: `W_a ×` every
+    /// stage × processor × mode cycle-time, sorted and deduplicated.
+    pub fn candidates(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.rows() * self.total_modes);
+        for (row, &(a, _)) in self.stage_ids.iter().enumerate() {
+            let w = self.weights[a];
+            let base = row * self.total_modes;
+            out.extend(self.cycle[base..base + self.total_modes].iter().map(|&c| w * c));
+        }
+        num::sorted_candidates(out)
+    }
+}
 
 /// Theorem 19: minimize total energy with a one-to-one mapping on a
 /// communication homogeneous platform, subject to per-application period
@@ -31,62 +172,32 @@ pub fn min_energy_one_to_one_matching(
     model: CommModel,
     period_bounds: &[f64],
 ) -> Option<Solution> {
+    let table = StageCostTable::build(apps, platform, model)?;
+    let mut workspace = HungarianWorkspace::new();
+    let mut matrix = Vec::new();
+    min_energy_one_to_one_with_table(apps, platform, &table, period_bounds, &mut workspace, &mut matrix)
+}
+
+/// [`min_energy_one_to_one_matching`] on a prebuilt [`StageCostTable`] with
+/// reusable Hungarian workspace and cost-matrix buffers — the per-candidate
+/// form of a Pareto sweep (no allocations beyond the returned mapping).
+pub fn min_energy_one_to_one_with_table(
+    apps: &AppSet,
+    platform: &Platform,
+    table: &StageCostTable,
+    period_bounds: &[f64],
+    workspace: &mut HungarianWorkspace,
+    matrix: &mut Vec<Vec<f64>>,
+) -> Option<Solution> {
     assert_eq!(period_bounds.len(), apps.a(), "one period bound per application");
-    if !crate::mono::links_are_homogeneous(platform) {
-        return None;
-    }
-    let n_total = apps.total_stages();
-    let p = platform.p();
-    if p < n_total {
-        return None;
-    }
-    let energy = EnergyModel::default();
-
-    // Row = stage, column = processor; cost = cheapest feasible mode energy.
-    let mut rows = Vec::with_capacity(n_total);
-    let mut stage_ids = Vec::with_capacity(n_total);
-    for (a, app) in apps.apps.iter().enumerate() {
-        let b = crate::mono::app_bandwidth(platform, a)?;
-        for k in 0..app.n() {
-            let incoming = app.input_of(k) / b;
-            let outgoing = app.output_of(k) / b;
-            let bound = period_bounds[a];
-            let row: Vec<f64> = (0..p)
-                .map(|u| {
-                    let proc = &platform.procs[u];
-                    (0..proc.modes())
-                        .find(|&m| {
-                            num::le(
-                                model.combine(incoming, app.stages[k].work / proc.speed(m), outgoing),
-                                bound,
-                            )
-                        })
-                        .map(|m| energy.proc_energy(platform, u, m))
-                        .unwrap_or(f64::INFINITY)
-                })
-                .collect();
-            rows.push(row);
-            stage_ids.push((a, k));
-        }
-    }
-
-    let result = hungarian_min_cost(&rows)?;
+    table.fill_matrix(period_bounds, matrix);
+    let result = workspace.solve(matrix)?;
     let mut mapping = Mapping::new();
-    for (i, &(a, k)) in stage_ids.iter().enumerate() {
-        let u = result.row_to_col[i];
+    for row in 0..table.rows() {
+        let (a, k) = table.stage_id(row);
+        let u = result.row_to_col[row];
         // Recover the selected mode: the cheapest feasible one.
-        let b = crate::mono::app_bandwidth(platform, a).expect("checked above");
-        let incoming = apps.apps[a].input_of(k) / b;
-        let outgoing = apps.apps[a].output_of(k) / b;
-        let proc = &platform.procs[u];
-        let mode = (0..proc.modes())
-            .find(|&m| {
-                num::le(
-                    model.combine(incoming, apps.apps[a].stages[k].work / proc.speed(m), outgoing),
-                    period_bounds[a],
-                )
-            })
-            .expect("matched edge is feasible");
+        let mode = table.feasible_mode(row, u, period_bounds[a]).expect("matched edge is feasible");
         mapping.push(Interval::new(a, k, k), u, mode);
     }
     debug_assert!(mapping.validate(apps, platform).is_ok());
@@ -94,6 +205,10 @@ pub fn min_energy_one_to_one_matching(
     debug_assert!(num::approx_eq(achieved, result.cost));
     Some(Solution::new(mapping, achieved))
 }
+
+// ---------------------------------------------------------------------------
+// Theorems 18 + 21 — interval DP + convolution
+// ---------------------------------------------------------------------------
 
 /// Theorems 18 + 21: minimize total energy with an interval mapping on a
 /// fully homogeneous multi-modal platform, subject to per-application
@@ -104,17 +219,19 @@ pub fn min_energy_interval_fully_hom(
     model: CommModel,
     period_bounds: &[f64],
 ) -> Option<Solution> {
+    let tables = crate::bi::interval_cost_tables(apps, platform, model)?;
+    min_energy_interval_with_tables(apps, platform, &tables, period_bounds)
+}
+
+/// [`min_energy_interval_fully_hom`] on prebuilt per-application
+/// [`IntervalCostTable`]s — the per-candidate form of a Pareto sweep.
+pub fn min_energy_interval_with_tables(
+    apps: &AppSet,
+    platform: &Platform,
+    tables: &[IntervalCostTable],
+    period_bounds: &[f64],
+) -> Option<Solution> {
     assert_eq!(period_bounds.len(), apps.a(), "one period bound per application");
-    if platform.class() != PlatformClass::FullyHomogeneous {
-        return None;
-    }
-    let b = match &platform.links {
-        cpo_model::platform::Links::Uniform(b) => *b,
-        cpo_model::platform::Links::PerApp(bs) => bs[0],
-        cpo_model::platform::Links::Heterogeneous { .. } => return None,
-    };
-    let speeds = platform.procs[0].speeds().to_vec();
-    let e_stat = platform.procs[0].e_stat;
     let p = platform.p();
     let a_count = apps.a();
     if p < a_count {
@@ -123,15 +240,10 @@ pub fn min_energy_interval_fully_hom(
     let qmax = p - a_count + 1;
 
     // Per-application tables E_a^q (exactly q processors).
-    let tables: Vec<_> = apps
-        .apps
+    let dp_tables: Vec<EnergyTable> = tables
         .iter()
         .zip(period_bounds)
-        .map(|(app, &tb)| {
-            let mut ctx = HomCtx::new(app, &speeds, b, model);
-            ctx.e_stat = e_stat;
-            energy_under_period(&ctx, tb, qmax)
-        })
+        .map(|(table, &tb)| energy_under_period_with(table, tb, qmax))
         .collect();
 
     // Theorem 21 convolution: E(a, k) = min_q (E_a^q + E(a-1, k-q)).
@@ -140,7 +252,7 @@ pub fn min_energy_interval_fully_hom(
     let mut choice = vec![vec![usize::MAX; p + 1]; a_count + 1];
     e[0][0] = 0.0;
     for a in 1..=a_count {
-        let tbl = &tables[a - 1];
+        let tbl = &dp_tables[a - 1];
         for k in a..=p {
             let mut best = inf;
             let mut arg = usize::MAX;
@@ -174,7 +286,7 @@ pub fn min_energy_interval_fully_hom(
         k -= q;
     }
     let partitions: Vec<_> = (0..a_count)
-        .map(|a| tables[a].partition_exact(counts[a]).expect("finite energy"))
+        .map(|a| dp_tables[a].partition_exact(counts[a]).expect("finite energy"))
         .collect();
     let mapping = mapping_from_partitions(&partitions);
     debug_assert!(mapping.validate(apps, platform).is_ok());
@@ -238,6 +350,57 @@ mod tests {
         )
         .unwrap();
         assert!(min_energy_one_to_one_matching(&apps, &pf, CommModel::Overlap, &[1.0]).is_none());
+    }
+
+    #[test]
+    fn stage_cost_table_reuse_matches_one_shot() {
+        // Sweep form (shared table + workspace) must reproduce the one-shot
+        // solver bound-for-bound, including infeasible bounds.
+        let (apps, pf) = section2_example();
+        let mut procs = pf.procs.clone();
+        for _ in 0..4 {
+            procs.push(cpo_model::platform::Processor::new(vec![2.0, 5.0]).unwrap());
+        }
+        let pf = Platform::comm_homogeneous(procs, 1.0).unwrap();
+        let table = StageCostTable::build(&apps, &pf, CommModel::Overlap).unwrap();
+        let mut ws = HungarianWorkspace::new();
+        let mut matrix = Vec::new();
+        for tb in [0.2, 0.5, 1.0, 2.0, 3.0, 7.0, 14.0] {
+            let bounds = [tb, tb];
+            let one_shot =
+                min_energy_one_to_one_matching(&apps, &pf, CommModel::Overlap, &bounds);
+            let swept = min_energy_one_to_one_with_table(
+                &apps, &pf, &table, &bounds, &mut ws, &mut matrix,
+            );
+            match (one_shot, swept) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.objective, b.objective, "bound {tb}");
+                    assert_eq!(a.mapping, b.mapping, "bound {tb}");
+                }
+                other => panic!("feasibility mismatch at {tb}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn stage_cost_table_candidates_are_weighted_cycles() {
+        let (mut apps, pf) = section2_example();
+        apps.apps[0].weight = 3.0;
+        // Section 2 has 7 stages and 3 processors: extend to 7 procs.
+        let mut procs = pf.procs.clone();
+        for _ in 0..4 {
+            procs.push(cpo_model::platform::Processor::new(vec![2.0, 5.0]).unwrap());
+        }
+        let pf = Platform::comm_homogeneous(procs, 1.0).unwrap();
+        let table = StageCostTable::build(&apps, &pf, CommModel::Overlap).unwrap();
+        let cands = table.candidates();
+        assert!(!cands.is_empty());
+        assert!(cands.windows(2).all(|w| w[0] < w[1]), "sorted and deduplicated");
+        // Spot-check: stage (0, 0) on proc 0 mode 0 — weighted cycle present.
+        let c = 3.0
+            * CommModel::Overlap.combine(1.0 / 1.0, 3.0 / 3.0, 3.0 / 1.0);
+        assert!(cands.iter().any(|&x| (x - c).abs() < 1e-12));
     }
 
     #[test]

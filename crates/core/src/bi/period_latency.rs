@@ -9,22 +9,12 @@
 //! processor count.
 
 use crate::alloc::allocate_processors;
-use crate::dp::{latency_under_period, min_period_under_latency, HomCtx};
+use crate::dp::{
+    latency_under_period_with, min_period_under_latency_with, IntervalCostTable, LatencyTable,
+};
 use crate::mono::period_interval::mapping_from_partitions;
 use crate::solution::Solution;
 use cpo_model::prelude::*;
-
-fn fully_hom_params(platform: &Platform) -> Option<(Vec<f64>, f64)> {
-    if platform.class() != PlatformClass::FullyHomogeneous {
-        return None;
-    }
-    let b = match &platform.links {
-        cpo_model::platform::Links::Uniform(b) => *b,
-        cpo_model::platform::Links::PerApp(bs) => bs[0],
-        cpo_model::platform::Links::Heterogeneous { .. } => return None,
-    };
-    Some((platform.procs[0].speeds().to_vec(), b))
-}
 
 /// Theorem 16 (first variant): minimize the global weighted latency
 /// `max_a W_a·L_a` under per-application period bounds `T_a ≤ period_bounds[a]`,
@@ -36,8 +26,19 @@ pub fn min_latency_under_period_fully_hom(
     model: CommModel,
     period_bounds: &[f64],
 ) -> Option<Solution> {
+    let tables = crate::bi::interval_cost_tables(apps, platform, model)?;
+    min_latency_under_period_with_tables(apps, platform, &tables, period_bounds)
+}
+
+/// [`min_latency_under_period_fully_hom`] on prebuilt per-application
+/// [`IntervalCostTable`]s — the per-candidate form of a Pareto sweep.
+pub fn min_latency_under_period_with_tables(
+    apps: &AppSet,
+    platform: &Platform,
+    tables: &[IntervalCostTable],
+    period_bounds: &[f64],
+) -> Option<Solution> {
     assert_eq!(period_bounds.len(), apps.a(), "one period bound per application");
-    let (speeds, b) = fully_hom_params(platform)?;
     let p = platform.p();
     let a_count = apps.a();
     if p < a_count {
@@ -45,23 +46,21 @@ pub fn min_latency_under_period_fully_hom(
     }
     let qmax = p - a_count + 1;
     // Precompute per-application latency tables under their own bound.
-    let tables: Vec<_> = apps
-        .apps
+    let dp_tables: Vec<LatencyTable> = tables
         .iter()
         .zip(period_bounds)
-        .map(|(app, &tb)| {
-            let ctx = HomCtx::new(app, &speeds, b, model);
-            latency_under_period(&ctx, tb, qmax)
-        })
+        .map(|(table, &tb)| latency_under_period_with(table, tb, qmax))
         .collect();
     let weights: Vec<f64> = apps.apps.iter().map(|a| a.weight).collect();
-    let alloc = allocate_processors(a_count, p, &weights, |a, q| tables[a].best[q - 1])?;
+    let alloc = allocate_processors(a_count, p, &weights, |a, q| dp_tables[a].best[q - 1])?;
     if !alloc.objective.is_finite() {
         return None;
     }
-    let top = speeds.len() - 1;
     let partitions: Vec<_> = (0..a_count)
-        .map(|a| tables[a].partition(alloc.procs[a], top).expect("finite objective"))
+        .map(|a| {
+            let top = tables[a].modes() - 1;
+            dp_tables[a].partition(alloc.procs[a], top).expect("finite objective")
+        })
         .collect();
     let mapping = mapping_from_partitions(&partitions);
     debug_assert!(mapping.validate(apps, platform).is_ok());
@@ -79,17 +78,15 @@ pub fn min_period_under_latency_fully_hom(
     latency_bounds: &[f64],
 ) -> Option<Solution> {
     assert_eq!(latency_bounds.len(), apps.a(), "one latency bound per application");
-    let (speeds, b) = fully_hom_params(platform)?;
+    let tables = crate::bi::interval_cost_tables(apps, platform, model)?;
     let p = platform.p();
     let a_count = apps.a();
-    if p < a_count {
-        return None;
-    }
     let weights: Vec<f64> = apps.apps.iter().map(|a| a.weight).collect();
-    let ctxs: Vec<_> =
-        apps.apps.iter().map(|app| HomCtx::new(app, &speeds, b, model)).collect();
+    // Candidate-period sets built once per application, reused by every
+    // (latency bound, processor count) probe of the allocation.
+    let candidates: Vec<Vec<f64>> = tables.iter().map(|t| t.candidates()).collect();
     let alloc = allocate_processors(a_count, p, &weights, |a, q| {
-        min_period_under_latency(&ctxs[a], latency_bounds[a], q)
+        min_period_under_latency_with(&tables[a], &candidates[a], latency_bounds[a], q)
             .map(|(t, _)| t)
             .unwrap_or(f64::INFINITY)
     })?;
@@ -98,9 +95,14 @@ pub fn min_period_under_latency_fully_hom(
     }
     let partitions: Vec<_> = (0..a_count)
         .map(|a| {
-            min_period_under_latency(&ctxs[a], latency_bounds[a], alloc.procs[a])
-                .expect("finite objective")
-                .1
+            min_period_under_latency_with(
+                &tables[a],
+                &candidates[a],
+                latency_bounds[a],
+                alloc.procs[a],
+            )
+            .expect("finite objective")
+            .1
         })
         .collect();
     let mapping = mapping_from_partitions(&partitions);

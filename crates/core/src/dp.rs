@@ -75,28 +75,153 @@ impl<'a> HomCtx<'a> {
     /// Cheapest mode running `[lo, hi]` within period `t_bound`:
     /// the slowest feasible speed (energy is increasing in speed since
     /// `α > 1`). Returns `(mode index, energy)`.
+    ///
+    /// Speeds ascend, so the cycle-time is non-increasing in the mode index
+    /// and feasibility is a monotone boundary: binary-search the first
+    /// feasible mode instead of scanning linearly.
     pub fn cheapest_feasible_mode(&self, lo: usize, hi: usize, t_bound: f64) -> Option<(usize, f64)> {
-        for (m, &s) in self.speeds.iter().enumerate() {
-            if num::le(self.cycle(lo, hi, s), t_bound) {
-                return Some((m, self.e_stat + self.energy.dynamic(s)));
-            }
-        }
-        None
+        let m = self
+            .speeds
+            .partition_point(|&s| !num::le(self.cycle(lo, hi, s), t_bound));
+        (m < self.speeds.len()).then(|| (m, self.e_stat + self.energy.dynamic(self.speeds[m])))
     }
 
     /// All candidate period values: cycle-times of every interval at every
     /// speed. The optimal period over any partition is always one of them.
+    /// Routed through [`IntervalCostTable`] so every candidate enumeration
+    /// in the workspace draws from the same cycle-time values.
     pub fn period_candidates(&self) -> Vec<f64> {
-        let n = self.app.n();
-        let mut out = Vec::with_capacity(n * (n + 1) / 2 * self.speeds.len());
+        IntervalCostTable::build(self).candidates()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared interval cost precomputation
+// ---------------------------------------------------------------------------
+
+/// Precomputed per-application interval costs: every `cycle(lo, hi, s)`,
+/// per-mode energies, and the top-mode latency terms of [`HomCtx`].
+///
+/// The Pareto sweep engine re-runs the Theorem 15/18/21 dynamic programs
+/// once per candidate period; without this table each run recomputes the
+/// identical `O(n²·modes)` cycle-time values. Building the table once per
+/// `(application, platform, model)` and sharing it across the sweep turns
+/// those recomputations into lookups, and keeps every consumer (candidate
+/// enumeration, feasibility probes, DP cost rows) reading from one source
+/// so the values cannot drift apart.
+#[derive(Debug, Clone)]
+pub struct IntervalCostTable {
+    n: usize,
+    modes: usize,
+    /// Application weight `W_a` (scales candidates to the global objective).
+    pub weight: f64,
+    /// `mode_energy[m]` = `E_stat + s_m^α`.
+    pub mode_energy: Vec<f64>,
+    /// `cycle[(lo * n + hi) * modes + m]`, valid for `lo ≤ hi`.
+    cycle: Vec<f64>,
+    /// Latency term of `[lo, hi]` at the top mode (`lo * n + hi`).
+    latency_top: Vec<f64>,
+    /// Input-edge latency `δ^0 / b` of the whole chain.
+    input_edge: f64,
+}
+
+impl IntervalCostTable {
+    /// Precompute all interval costs of `ctx` (`O(n²·modes)` time/space).
+    pub fn build(ctx: &HomCtx<'_>) -> Self {
+        let n = ctx.app.n();
+        let modes = ctx.speeds.len();
+        let top = ctx.max_speed();
+        let mut cycle = vec![f64::INFINITY; n * n * modes];
+        let mut latency_top = vec![f64::INFINITY; n * n];
         for lo in 0..n {
             for hi in lo..n {
-                for &s in self.speeds {
-                    out.push(self.cycle(lo, hi, s));
+                let base = (lo * n + hi) * modes;
+                for (m, &s) in ctx.speeds.iter().enumerate() {
+                    cycle[base + m] = ctx.cycle(lo, hi, s);
+                }
+                latency_top[lo * n + hi] = ctx.latency_term(lo, hi, top);
+            }
+        }
+        let mode_energy =
+            ctx.speeds.iter().map(|&s| ctx.e_stat + ctx.energy.dynamic(s)).collect();
+        IntervalCostTable {
+            n,
+            modes,
+            weight: ctx.app.weight,
+            mode_energy,
+            cycle,
+            latency_top,
+            input_edge: ctx.app.input_of(0) / ctx.bandwidth,
+        }
+    }
+
+    /// Number of stages `n`.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of modes.
+    #[inline]
+    pub fn modes(&self) -> usize {
+        self.modes
+    }
+
+    /// Cycle-time of `[lo, hi]` at mode `m`.
+    #[inline]
+    pub fn cycle(&self, lo: usize, hi: usize, m: usize) -> f64 {
+        self.cycle[(lo * self.n + hi) * self.modes + m]
+    }
+
+    /// Cycle-time of `[lo, hi]` at the top mode.
+    #[inline]
+    pub fn top_cycle(&self, lo: usize, hi: usize) -> f64 {
+        self.cycle(lo, hi, self.modes - 1)
+    }
+
+    /// Latency term of `[lo, hi]` at the top mode.
+    #[inline]
+    pub fn latency_term_top(&self, lo: usize, hi: usize) -> f64 {
+        self.latency_top[lo * self.n + hi]
+    }
+
+    /// Input-edge latency `δ^0 / b`.
+    #[inline]
+    pub fn input_edge(&self) -> f64 {
+        self.input_edge
+    }
+
+    /// Cheapest feasible mode of `[lo, hi]` under `t_bound`, by
+    /// partition-point binary search (cycle-times descend over modes).
+    /// Identical to [`HomCtx::cheapest_feasible_mode`].
+    pub fn cheapest_feasible_mode(&self, lo: usize, hi: usize, t_bound: f64) -> Option<(usize, f64)> {
+        let base = (lo * self.n + hi) * self.modes;
+        let row = &self.cycle[base..base + self.modes];
+        let m = row.partition_point(|&c| !num::le(c, t_bound));
+        (m < self.modes).then(|| (m, self.mode_energy[m]))
+    }
+
+    /// All candidate period values (unweighted), sorted and deduplicated —
+    /// the same set as [`HomCtx::period_candidates`].
+    pub fn candidates(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.n * (self.n + 1) / 2 * self.modes);
+        self.push_weighted_candidates(1.0, false, &mut out);
+        num::sorted_candidates(out)
+    }
+
+    /// Append `weight ×` cycle-time candidates to `out`: every mode when
+    /// `top_only` is false, only the top mode otherwise (for the
+    /// performance-only solvers that never downclock).
+    pub fn push_weighted_candidates(&self, weight: f64, top_only: bool, out: &mut Vec<f64>) {
+        for lo in 0..self.n {
+            for hi in lo..self.n {
+                let base = (lo * self.n + hi) * self.modes;
+                let first = if top_only { self.modes - 1 } else { 0 };
+                for m in first..self.modes {
+                    out.push(weight * self.cycle[base + m]);
                 }
             }
         }
-        num::sorted_candidates(out)
     }
 }
 
@@ -220,16 +345,50 @@ pub struct LatencyTable {
 /// to every interval's cycle-time ≤ `t_bound` (the paper's `(L, T)(i, q)`
 /// recurrence, Theorem 15). Runs at the top speed. `O(n²·qmax)`.
 pub fn latency_under_period(ctx: &HomCtx<'_>, t_bound: f64, qmax: usize) -> LatencyTable {
-    let n = ctx.app.n();
     let s = ctx.max_speed();
+    latency_dp_core(
+        ctx.app.n(),
+        ctx.app.input_of(0) / ctx.bandwidth,
+        t_bound,
+        qmax,
+        &|lo, hi| ctx.cycle(lo, hi, s),
+        &|lo, hi| ctx.latency_term(lo, hi, s),
+    )
+}
+
+/// [`latency_under_period`] on a prebuilt [`IntervalCostTable`]: identical
+/// results, but the `O(n²)` cycle-times and latency terms are lookups —
+/// the form every per-candidate solve of a Pareto sweep uses.
+pub fn latency_under_period_with(
+    table: &IntervalCostTable,
+    t_bound: f64,
+    qmax: usize,
+) -> LatencyTable {
+    latency_dp_core(
+        table.n(),
+        table.input_edge(),
+        t_bound,
+        qmax,
+        &|lo, hi| table.top_cycle(lo, hi),
+        &|lo, hi| table.latency_term_top(lo, hi),
+    )
+}
+
+fn latency_dp_core(
+    n: usize,
+    input_edge: f64,
+    t_bound: f64,
+    qmax: usize,
+    cycle_top: &impl Fn(usize, usize) -> f64,
+    latency_top: &impl Fn(usize, usize) -> f64,
+) -> LatencyTable {
     let kcap = qmax.min(n).max(1);
     let inf = f64::INFINITY;
     let mut exact = vec![vec![inf; n + 1]; kcap + 1];
     let mut parent = vec![vec![usize::MAX; n + 1]; kcap + 1];
-    let input_edge = ctx.app.input_of(0) / ctx.bandwidth;
     for i in 1..=n {
-        if num::le(ctx.cycle(0, i - 1, s), t_bound) {
-            exact[1][i] = input_edge + ctx.latency_term(0, i - 1, s);
+        if num::le(cycle_top(0, i - 1), t_bound) {
+            exact[1][i] = input_edge + latency_top(0, i - 1);
             parent[1][i] = 0;
         }
     }
@@ -238,8 +397,8 @@ pub fn latency_under_period(ctx: &HomCtx<'_>, t_bound: f64, qmax: usize) -> Late
             let mut best = inf;
             let mut arg = usize::MAX;
             for j in (k - 1)..i {
-                if exact[k - 1][j].is_finite() && num::le(ctx.cycle(j, i - 1, s), t_bound) {
-                    let cand = exact[k - 1][j] + ctx.latency_term(j, i - 1, s);
+                if exact[k - 1][j].is_finite() && num::le(cycle_top(j, i - 1), t_bound) {
+                    let cand = exact[k - 1][j] + latency_top(j, i - 1);
                     if cand < best {
                         best = cand;
                         arg = j;
@@ -294,10 +453,23 @@ pub fn min_period_under_latency(
     l_bound: f64,
     q: usize,
 ) -> Option<(f64, Partition)> {
-    let candidates = ctx.period_candidates();
+    let table = IntervalCostTable::build(ctx);
+    let candidates = table.candidates();
+    min_period_under_latency_with(&table, &candidates, l_bound, q)
+}
+
+/// [`min_period_under_latency`] on a prebuilt cost table and candidate set,
+/// so a multi-application allocation (or a Pareto sweep) probing many
+/// `(l_bound, q)` pairs builds both exactly once per application.
+pub fn min_period_under_latency_with(
+    table: &IntervalCostTable,
+    candidates: &[f64],
+    l_bound: f64,
+    q: usize,
+) -> Option<(f64, Partition)> {
     // Feasible(T) := best latency under period T ≤ l_bound. Monotone in T.
     let feasible = |t: f64| -> bool {
-        let l = latency_under_period(ctx, t, q).best[q - 1];
+        let l = latency_under_period_with(table, t, q).best[q - 1];
         l.is_finite() && num::le(l, l_bound)
     };
     let mut lo = 0usize;
@@ -315,9 +487,9 @@ pub fn min_period_under_latency(
         return None;
     }
     let t = candidates[lo];
-    let table = latency_under_period(ctx, t, q);
-    let top = ctx.speeds.len() - 1;
-    let partition = table.partition(q, top)?;
+    let dp = latency_under_period_with(table, t, q);
+    let top = table.modes() - 1;
+    let partition = dp.partition(q, top)?;
     Some((t, partition))
 }
 
@@ -341,9 +513,32 @@ pub struct EnergyTable {
 
 /// Minimum energy of `app` subject to every interval cycle-time ≤ `t_bound`
 /// (Theorem 18 DP). Each interval independently selects its cheapest
-/// feasible mode. `O(n²·(qmax + modes))`.
+/// feasible mode. `O(n²·(qmax + log modes))`.
 pub fn energy_under_period(ctx: &HomCtx<'_>, t_bound: f64, qmax: usize) -> EnergyTable {
-    let n = ctx.app.n();
+    energy_dp_core(ctx.app.n(), t_bound, qmax, &|lo, hi, tb| {
+        ctx.cheapest_feasible_mode(lo, hi, tb)
+    })
+}
+
+/// [`energy_under_period`] on a prebuilt [`IntervalCostTable`]: identical
+/// results, with all cycle-times looked up instead of recomputed — the form
+/// the Pareto sweep uses for its per-candidate solves.
+pub fn energy_under_period_with(
+    table: &IntervalCostTable,
+    t_bound: f64,
+    qmax: usize,
+) -> EnergyTable {
+    energy_dp_core(table.n(), t_bound, qmax, &|lo, hi, tb| {
+        table.cheapest_feasible_mode(lo, hi, tb)
+    })
+}
+
+fn energy_dp_core(
+    n: usize,
+    t_bound: f64,
+    qmax: usize,
+    cheapest: &impl Fn(usize, usize, f64) -> Option<(usize, f64)>,
+) -> EnergyTable {
     let kcap = qmax.min(n).max(1);
     let inf = f64::INFINITY;
     // cost1[j][i-1]: cheapest single-processor energy for stages j..=i-1,
@@ -352,7 +547,7 @@ pub fn energy_under_period(ctx: &HomCtx<'_>, t_bound: f64, qmax: usize) -> Energ
     let mut mode1 = vec![vec![usize::MAX; n]; n];
     for lo in 0..n {
         for hi in lo..n {
-            if let Some((m, e)) = ctx.cheapest_feasible_mode(lo, hi, t_bound) {
+            if let Some((m, e)) = cheapest(lo, hi, t_bound) {
                 cost1[lo][hi] = e;
                 mode1[lo][hi] = m;
             }
@@ -593,6 +788,78 @@ mod tests {
                 cands.iter().any(|c| (c - t).abs() < 1e-9),
                 "optimum {t} missing from candidates"
             );
+        }
+    }
+
+    #[test]
+    fn cost_table_matches_ctx() {
+        let a = app();
+        let speeds = [1.0, 6.0, 8.0];
+        for model in CommModel::ALL {
+            let mut ctx = HomCtx::new(&a, &speeds, 2.0, model);
+            ctx.e_stat = 1.5;
+            let table = IntervalCostTable::build(&ctx);
+            for lo in 0..a.n() {
+                for hi in lo..a.n() {
+                    for (m, &s) in speeds.iter().enumerate() {
+                        assert_eq!(table.cycle(lo, hi, m), ctx.cycle(lo, hi, s));
+                    }
+                    assert_eq!(table.top_cycle(lo, hi), ctx.cycle(lo, hi, 8.0));
+                    assert_eq!(table.latency_term_top(lo, hi), ctx.latency_term(lo, hi, 8.0));
+                    for tb in [0.1, 0.5, 1.0, 2.0, 7.0, 100.0] {
+                        assert_eq!(
+                            table.cheapest_feasible_mode(lo, hi, tb),
+                            ctx.cheapest_feasible_mode(lo, hi, tb),
+                            "[{lo},{hi}] under {tb}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binary_search_mode_matches_linear_scan() {
+        let a = app();
+        let speeds = [1.0, 2.0, 3.0, 6.0, 8.0];
+        let ctx = HomCtx::new(&a, &speeds, 1.0, CommModel::NoOverlap);
+        for lo in 0..a.n() {
+            for hi in lo..a.n() {
+                for tb_tenths in 1..200 {
+                    let tb = tb_tenths as f64 / 10.0;
+                    let linear = speeds
+                        .iter()
+                        .enumerate()
+                        .find(|&(_, &s)| num::le(ctx.cycle(lo, hi, s), tb))
+                        .map(|(m, &s)| (m, ctx.e_stat + ctx.energy.dynamic(s)));
+                    assert_eq!(ctx.cheapest_feasible_mode(lo, hi, tb), linear);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn table_dp_variants_match_direct() {
+        let a = app();
+        let speeds = [1.0, 6.0, 8.0];
+        for model in CommModel::ALL {
+            let mut ctx = HomCtx::new(&a, &speeds, 1.0, model);
+            ctx.e_stat = 0.5;
+            let table = IntervalCostTable::build(&ctx);
+            assert_eq!(table.candidates(), ctx.period_candidates());
+            for tb in [0.5, 1.0, 2.0, 4.0, 14.0] {
+                for q in 1..=4 {
+                    let e_direct = energy_under_period(&ctx, tb, q);
+                    let e_table = energy_under_period_with(&table, tb, q);
+                    assert_eq!(e_direct.exact_k, e_table.exact_k);
+                    assert_eq!(e_direct.best, e_table.best);
+                    assert_eq!(e_direct.partition_best(), e_table.partition_best());
+                    let l_direct = latency_under_period(&ctx, tb, q);
+                    let l_table = latency_under_period_with(&table, tb, q);
+                    assert_eq!(l_direct.best, l_table.best);
+                    assert_eq!(l_direct.partition(q, 2), l_table.partition(q, 2));
+                }
+            }
         }
     }
 

@@ -19,7 +19,8 @@
 //! | [`heuristics`] | Section 6 | greedy DVFS downscaling, local search |
 //! | [`replication`] | Section 6 ext. | replicated intervals: period DP, energy-aware DVFS-vs-replication |
 //! | [`sharing`] | Section 6 ext. | general mappings: exact, LPT heuristic, sharing-gain experiment |
-//! | [`pareto`] | — | period/energy and period/latency/energy trade-off fronts |
+//! | [`pareto`] | — | period/energy and period/latency trade-off fronts |
+//! | [`sweep`] | — | pruned, parallel threshold-sweep engine behind every front |
 //!
 //! All solvers return a [`Solution`] (mapping + objective value) or `None`
 //! when the instance is infeasible for the requested strategy.
@@ -35,6 +36,7 @@ pub mod pareto;
 pub mod replication;
 pub mod sharing;
 pub mod solution;
+pub mod sweep;
 pub mod tri;
 
 pub use solution::{Criterion, MappingKind, Solution};
@@ -54,8 +56,12 @@ pub mod prelude {
     };
     pub use crate::mono::period_interval::minimize_global_period;
     pub use crate::mono::period_one_to_one::min_period_one_to_one_comm_hom;
-    pub use crate::pareto::{period_energy_front, ParetoPoint};
+    pub use crate::pareto::{
+        period_energy_front, period_energy_front_with, period_latency_front,
+        period_latency_front_with, ParetoPoint, PeriodLatencyPoint,
+    };
     pub use crate::solution::{Criterion, MappingKind, Solution};
+    pub use crate::sweep::Sweep;
     pub use crate::tri::multimodal::branch_and_bound_tri;
     pub use crate::tri::unimodal::{
         min_energy_tri_unimodal, min_latency_tri_unimodal, min_period_tri_unimodal,

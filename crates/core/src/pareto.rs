@@ -1,13 +1,23 @@
-//! Period/energy trade-off fronts.
+//! Period/energy and period/latency trade-off fronts.
 //!
 //! The paper motivates its threshold approach with the "laptop" and
 //! "server" questions; sweeping the threshold yields the full Pareto
-//! front of the bi-criteria period/energy problem. The sweep runs the
-//! polynomial solvers of Theorems 18/19/21 on every candidate period (a
-//! finite set) and discards dominated points.
+//! front of the bi-criteria problems. The sweep runs the polynomial
+//! solvers of Theorems 16/18/19/21 on every candidate period (a finite
+//! set) and discards dominated points — through the pruned, parallel
+//! [`crate::sweep`] engine, with all per-instance constants hoisted into
+//! shared cost tables ([`IntervalCostTable`], [`StageCostTable`]) built
+//! once per sweep.
 
-use crate::bi::period_energy::{min_energy_interval_fully_hom, min_energy_one_to_one_matching};
+use crate::bi::interval_cost_tables;
+use crate::bi::period_energy::{
+    min_energy_interval_with_tables, min_energy_one_to_one_with_table, StageCostTable,
+};
+use crate::bi::period_latency::min_latency_under_period_with_tables;
+use crate::dp::IntervalCostTable;
 use crate::solution::{MappingKind, Solution};
+use crate::sweep::{sweep_front, CandidateSolver, Scored, Sweep};
+use cpo_matching::HungarianWorkspace;
 use cpo_model::num;
 use cpo_model::prelude::*;
 
@@ -22,37 +32,44 @@ pub struct ParetoPoint {
     pub solution: Solution,
 }
 
-/// Candidate *global weighted* period values: all `W_a ×` interval (or
-/// stage) cycle-times at every available speed.
-fn period_candidates(
+/// One point of a period/latency front.
+#[derive(Debug, Clone)]
+pub struct PeriodLatencyPoint {
+    /// Global weighted period achieved.
+    pub period: f64,
+    /// Minimum global weighted latency at that period.
+    pub latency: f64,
+    /// A mapping realizing the point.
+    pub solution: Solution,
+}
+
+/// Candidate *global weighted* period values for the given mapping kind:
+/// all `W_a ×` interval (or stage) cycle-times at every available speed,
+/// drawn from the same shared cost tables the per-candidate solvers read
+/// (so candidate enumeration and solving cannot drift apart). Empty when
+/// the platform class does not fit the kind's polynomial solver.
+pub fn period_candidates(
     apps: &AppSet,
     platform: &Platform,
     model: CommModel,
     kind: MappingKind,
 ) -> Vec<f64> {
+    match kind {
+        MappingKind::Interval => match interval_cost_tables(apps, platform, model) {
+            Some(tables) => interval_candidates(&tables, false),
+            None => Vec::new(),
+        },
+        MappingKind::OneToOne => match StageCostTable::build(apps, platform, model) {
+            Some(table) => table.candidates(),
+            None => Vec::new(),
+        },
+    }
+}
+
+fn interval_candidates(tables: &[IntervalCostTable], top_only: bool) -> Vec<f64> {
     let mut out = Vec::new();
-    for (a, app) in apps.apps.iter().enumerate() {
-        for u in 0..platform.p() {
-            let b_in = platform.bw_input(a, u);
-            let b_out = platform.bw_output(a, u);
-            let b_int = platform.bw_inter(a, u, (u + 1) % platform.p());
-            for lo in 0..app.n() {
-                let hi_range = match kind {
-                    MappingKind::OneToOne => lo..=lo,
-                    MappingKind::Interval => lo..=(app.n() - 1),
-                };
-                for hi in hi_range {
-                    let din = app.input_of(lo) / if lo == 0 { b_in } else { b_int };
-                    let dout = app.output_of(hi) / if hi == app.n() - 1 { b_out } else { b_int };
-                    for &s in platform.procs[u].speeds() {
-                        out.push(
-                            app.weight
-                                * model.combine(din, app.interval_work(lo, hi) / s, dout),
-                        );
-                    }
-                }
-            }
-        }
+    for table in tables {
+        table.push_weighted_candidates(table.weight, top_only, &mut out);
     }
     num::sorted_candidates(out)
 }
@@ -62,35 +79,158 @@ fn period_candidates(
 /// homogeneous platforms), one-to-one mappings use the Theorem 19 matching
 /// (communication homogeneous platforms). Returns the non-dominated points
 /// sorted by increasing period.
+///
+/// Runs the pruned, parallel sweep with default settings; see
+/// [`period_energy_front_with`] to control pruning and thread count.
 pub fn period_energy_front(
     apps: &AppSet,
     platform: &Platform,
     model: CommModel,
     kind: MappingKind,
 ) -> Vec<ParetoPoint> {
-    let candidates = period_candidates(apps, platform, model, kind);
-    let mut points: Vec<ParetoPoint> = Vec::new();
-    for t in candidates {
-        // Per-application bound: global weighted period ≤ t means
-        // T_a ≤ t / W_a.
-        let bounds: Vec<f64> = apps.apps.iter().map(|a| t / a.weight).collect();
-        let sol = match kind {
-            MappingKind::Interval => min_energy_interval_fully_hom(apps, platform, model, &bounds),
-            MappingKind::OneToOne => {
-                min_energy_one_to_one_matching(apps, platform, model, &bounds)
-            }
-        };
-        if let Some(sol) = sol {
-            let achieved_t = Evaluator::new(apps, platform).period(&sol.mapping, model);
-            let energy = sol.objective;
-            // Dominance filter: keep only strictly improving energy as the
-            // period loosens.
-            if points.last().is_none_or(|last| num::lt(energy, last.energy)) {
-                points.push(ParetoPoint { period: achieved_t, energy, solution: sol });
-            }
+    period_energy_front_with(apps, platform, model, kind, &Sweep::default())
+}
+
+/// [`period_energy_front`] under an explicit [`Sweep`] configuration.
+/// The produced front is identical for every configuration — including
+/// [`Sweep::exhaustive`], the naive solve-every-candidate baseline.
+pub fn period_energy_front_with(
+    apps: &AppSet,
+    platform: &Platform,
+    model: CommModel,
+    kind: MappingKind,
+    sweep: &Sweep,
+) -> Vec<ParetoPoint> {
+    let points = match kind {
+        MappingKind::Interval => {
+            let Some(tables) = interval_cost_tables(apps, platform, model) else {
+                return Vec::new();
+            };
+            let candidates = interval_candidates(&tables, false);
+            let solver = IntervalEnergySolver { apps, platform, model, tables };
+            sweep_front(&candidates, &solver, sweep)
         }
-    }
+        MappingKind::OneToOne => {
+            let Some(table) = StageCostTable::build(apps, platform, model) else {
+                return Vec::new();
+            };
+            let candidates = table.candidates();
+            let solver = MatchingEnergySolver { apps, platform, model, table };
+            sweep_front(&candidates, &solver, sweep)
+        }
+    };
     points
+        .into_iter()
+        .map(|p| ParetoPoint { period: p.achieved, energy: p.objective, solution: p.solution })
+        .collect()
+}
+
+/// Sweep the period/latency Pareto front on a fully homogeneous platform
+/// (interval mappings, Theorem 16 under every candidate period bound).
+/// Returns the non-dominated points sorted by increasing period.
+pub fn period_latency_front(
+    apps: &AppSet,
+    platform: &Platform,
+    model: CommModel,
+) -> Vec<PeriodLatencyPoint> {
+    period_latency_front_with(apps, platform, model, &Sweep::default())
+}
+
+/// [`period_latency_front`] under an explicit [`Sweep`] configuration.
+pub fn period_latency_front_with(
+    apps: &AppSet,
+    platform: &Platform,
+    model: CommModel,
+    sweep: &Sweep,
+) -> Vec<PeriodLatencyPoint> {
+    let Some(tables) = interval_cost_tables(apps, platform, model) else {
+        return Vec::new();
+    };
+    // The latency solvers never downclock, so only top-mode cycle-times
+    // are achievable periods.
+    let candidates = interval_candidates(&tables, true);
+    let solver = IntervalLatencySolver { apps, platform, model, tables };
+    sweep_front(&candidates, &solver, sweep)
+        .into_iter()
+        .map(|p| PeriodLatencyPoint {
+            period: p.achieved,
+            latency: p.objective,
+            solution: p.solution,
+        })
+        .collect()
+}
+
+fn per_app_bounds(apps: &AppSet, t: f64) -> Vec<f64> {
+    // Per-application bound: global weighted period ≤ t means T_a ≤ t / W_a.
+    apps.apps.iter().map(|a| t / a.weight).collect()
+}
+
+struct IntervalEnergySolver<'a> {
+    apps: &'a AppSet,
+    platform: &'a Platform,
+    model: CommModel,
+    tables: Vec<IntervalCostTable>,
+}
+
+impl CandidateSolver for IntervalEnergySolver<'_> {
+    type State = ();
+
+    fn make_state(&self) {}
+
+    fn solve(&self, _state: &mut (), t: f64) -> Option<Scored> {
+        let bounds = per_app_bounds(self.apps, t);
+        let sol =
+            min_energy_interval_with_tables(self.apps, self.platform, &self.tables, &bounds)?;
+        let achieved = Evaluator::new(self.apps, self.platform).period(&sol.mapping, self.model);
+        Some(Scored { achieved, objective: sol.objective, solution: sol })
+    }
+}
+
+struct MatchingEnergySolver<'a> {
+    apps: &'a AppSet,
+    platform: &'a Platform,
+    model: CommModel,
+    table: StageCostTable,
+}
+
+impl CandidateSolver for MatchingEnergySolver<'_> {
+    type State = (HungarianWorkspace, Vec<Vec<f64>>);
+
+    fn make_state(&self) -> Self::State {
+        (HungarianWorkspace::new(), Vec::new())
+    }
+
+    fn solve(&self, state: &mut Self::State, t: f64) -> Option<Scored> {
+        let (workspace, matrix) = state;
+        let bounds = per_app_bounds(self.apps, t);
+        let sol = min_energy_one_to_one_with_table(
+            self.apps, self.platform, &self.table, &bounds, workspace, matrix,
+        )?;
+        let achieved = Evaluator::new(self.apps, self.platform).period(&sol.mapping, self.model);
+        Some(Scored { achieved, objective: sol.objective, solution: sol })
+    }
+}
+
+struct IntervalLatencySolver<'a> {
+    apps: &'a AppSet,
+    platform: &'a Platform,
+    model: CommModel,
+    tables: Vec<IntervalCostTable>,
+}
+
+impl CandidateSolver for IntervalLatencySolver<'_> {
+    type State = ();
+
+    fn make_state(&self) {}
+
+    fn solve(&self, _state: &mut (), t: f64) -> Option<Scored> {
+        let bounds = per_app_bounds(self.apps, t);
+        let sol = min_latency_under_period_with_tables(
+            self.apps, self.platform, &self.tables, &bounds,
+        )?;
+        let achieved = Evaluator::new(self.apps, self.platform).period(&sol.mapping, self.model);
+        Some(Scored { achieved, objective: sol.objective, solution: sol })
+    }
 }
 
 #[cfg(test)]
@@ -145,6 +285,59 @@ mod tests {
         for pt in &front {
             let t = ev.period(&pt.solution.mapping, CommModel::Overlap);
             assert!((t - pt.period).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn wrong_platform_class_yields_empty_front() {
+        let (apps, pf) = section2_example();
+        // Section 2's platform is only comm homogeneous: no interval front.
+        assert!(period_energy_front(&apps, &pf, CommModel::Overlap, MappingKind::Interval)
+            .is_empty());
+        assert!(period_latency_front(&apps, &pf, CommModel::Overlap).is_empty());
+        // And with p < N (3 < 7), no one-to-one front either.
+        assert!(period_energy_front(&apps, &pf, CommModel::Overlap, MappingKind::OneToOne)
+            .is_empty());
+    }
+
+    #[test]
+    fn period_latency_front_is_monotone_and_valid() {
+        let (apps, _) = section2_example();
+        let pf = Platform::fully_homogeneous(4, vec![2.0, 6.0], 1.0).unwrap();
+        let front = period_latency_front(&apps, &pf, CommModel::Overlap);
+        assert!(!front.is_empty());
+        let ev = Evaluator::new(&apps, &pf);
+        for w in front.windows(2) {
+            assert!(w[0].period <= w[1].period + 1e-9, "periods ascending");
+            assert!(w[0].latency > w[1].latency - 1e-9, "latency descending");
+        }
+        for pt in &front {
+            pt.solution.mapping.validate(&apps, &pf).unwrap();
+            assert!((ev.latency(&pt.solution.mapping) - pt.latency).abs() < 1e-9);
+            assert!((ev.period(&pt.solution.mapping, CommModel::Overlap) - pt.period).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn candidate_lists_cannot_drift_from_hom_ctx() {
+        // Satellite guarantee: pareto candidates and HomCtx candidates are
+        // both views of the same IntervalCostTable values.
+        let (apps, _) = section2_example();
+        let pf = Platform::fully_homogeneous(3, vec![1.0, 3.0, 6.0], 2.0).unwrap();
+        let global = period_candidates(&apps, &pf, CommModel::Overlap, MappingKind::Interval);
+        let tables = interval_cost_tables(&apps, &pf, CommModel::Overlap).unwrap();
+        for (app, table) in apps.apps.iter().zip(&tables) {
+            let speeds = pf.procs[0].speeds().to_vec();
+            let ctx = crate::dp::HomCtx::new(app, &speeds, 2.0, CommModel::Overlap);
+            assert_eq!(table.candidates(), ctx.period_candidates());
+            // Every weighted per-app candidate appears in the global list
+            // (weights are 1 in the Section 2 example).
+            for c in table.candidates() {
+                assert!(
+                    global.contains(&(app.weight * c)),
+                    "candidate {c} missing from the global list"
+                );
+            }
         }
     }
 }

@@ -12,7 +12,9 @@
 //!   application, the fewest processors that satisfy both).
 
 use crate::alloc::allocate_processors;
-use crate::dp::{latency_under_period, min_period_under_latency, HomCtx};
+use crate::dp::{
+    latency_under_period, min_period_under_latency_with, HomCtx, IntervalCostTable,
+};
 use crate::mono::period_interval::mapping_from_partitions;
 use crate::solution::Solution;
 use cpo_model::num;
@@ -66,11 +68,17 @@ pub fn min_period_tri_unimodal(
     if k < a_count {
         return None;
     }
-    let ctxs: Vec<_> =
-        apps.apps.iter().map(|app| HomCtx::new(app, &speeds, b, model)).collect();
+    // Cost tables and candidate-period sets built once per application,
+    // reused by every (latency bound, processor count) probe below.
+    let tables: Vec<IntervalCostTable> = apps
+        .apps
+        .iter()
+        .map(|app| IntervalCostTable::build(&HomCtx::new(app, &speeds, b, model)))
+        .collect();
+    let candidates: Vec<Vec<f64>> = tables.iter().map(|t| t.candidates()).collect();
     let weights: Vec<f64> = apps.apps.iter().map(|a| a.weight).collect();
     let alloc = allocate_processors(a_count, k, &weights, |a, q| {
-        min_period_under_latency(&ctxs[a], latency_bounds[a], q)
+        min_period_under_latency_with(&tables[a], &candidates[a], latency_bounds[a], q)
             .map(|(t, _)| t)
             .unwrap_or(f64::INFINITY)
     })?;
@@ -79,9 +87,14 @@ pub fn min_period_tri_unimodal(
     }
     let partitions: Vec<_> = (0..a_count)
         .map(|a| {
-            min_period_under_latency(&ctxs[a], latency_bounds[a], alloc.procs[a])
-                .expect("finite objective")
-                .1
+            min_period_under_latency_with(
+                &tables[a],
+                &candidates[a],
+                latency_bounds[a],
+                alloc.procs[a],
+            )
+            .expect("finite objective")
+            .1
         })
         .collect();
     let mapping = mapping_from_partitions(&partitions);

@@ -19,109 +19,152 @@ pub struct AssignmentResult {
     pub cost: f64,
 }
 
-/// Solve the rectangular min-cost assignment problem.
+/// Reusable scratch buffers for [`hungarian_min_cost`].
 ///
-/// `cost[r][c]` is the cost of assigning row `r` to column `c`;
-/// `f64::INFINITY` forbids the edge. Requires `rows ≤ cols`. Returns `None`
-/// when no complete (all-rows) finite-cost assignment exists.
-///
-/// Runs in O(rows² · cols) time — polynomial, as Theorem 19 requires.
-pub fn hungarian_min_cost(cost: &[Vec<f64>]) -> Option<AssignmentResult> {
-    let n = cost.len();
-    if n == 0 {
-        return Some(AssignmentResult { row_to_col: vec![], cost: 0.0 });
+/// A Pareto sweep solves one assignment per candidate period — hundreds to
+/// thousands of back-to-back instances of identical shape. Keeping the six
+/// internal arrays alive across solves removes every per-candidate
+/// allocation except the returned `row_to_col`.
+#[derive(Debug, Default)]
+pub struct HungarianWorkspace {
+    u: Vec<f64>,
+    v: Vec<f64>,
+    p: Vec<usize>,
+    way: Vec<usize>,
+    minv: Vec<f64>,
+    used: Vec<bool>,
+}
+
+impl HungarianWorkspace {
+    /// Fresh workspace; buffers grow lazily to the largest instance solved.
+    pub fn new() -> Self {
+        Self::default()
     }
-    let m = cost[0].len();
-    assert!(
-        cost.iter().all(|row| row.len() == m),
-        "cost matrix must be rectangular"
-    );
-    assert!(n <= m, "hungarian_min_cost requires rows <= cols");
-    debug_assert!(
-        cost.iter().flatten().all(|&c| c.is_infinite() || c.is_finite()),
-        "costs must be finite or +inf"
-    );
 
-    const INF: f64 = f64::INFINITY;
-    // 1-based arrays per the classic formulation; column 0 is a sentinel.
-    // p[c] = row matched to column c (0 = free), u/v = potentials.
-    let mut u = vec![0.0_f64; n + 1];
-    let mut v = vec![0.0_f64; m + 1];
-    let mut p = vec![0_usize; m + 1];
-    let mut way = vec![0_usize; m + 1];
+    /// Reset the buffers for an `n × m` instance (1-based arrays, column 0
+    /// is a sentinel).
+    fn reset(&mut self, n: usize, m: usize) {
+        self.u.clear();
+        self.u.resize(n + 1, 0.0);
+        self.v.clear();
+        self.v.resize(m + 1, 0.0);
+        self.p.clear();
+        self.p.resize(m + 1, 0);
+        self.way.clear();
+        self.way.resize(m + 1, 0);
+        self.minv.resize(m + 1, f64::INFINITY);
+        self.used.resize(m + 1, false);
+    }
 
-    for r in 1..=n {
-        p[0] = r;
-        let mut j0 = 0_usize;
-        let mut minv = vec![INF; m + 1];
-        let mut used = vec![false; m + 1];
-        loop {
-            used[j0] = true;
-            let i0 = p[j0];
-            let mut delta = INF;
-            let mut j1 = 0_usize;
-            for j in 1..=m {
-                if used[j] {
-                    continue;
+    /// Solve the rectangular min-cost assignment problem.
+    ///
+    /// `cost[r][c]` is the cost of assigning row `r` to column `c`;
+    /// `f64::INFINITY` forbids the edge. Requires `rows ≤ cols`. Returns
+    /// `None` when no complete (all-rows) finite-cost assignment exists.
+    ///
+    /// Runs in O(rows² · cols) time — polynomial, as Theorem 19 requires.
+    pub fn solve(&mut self, cost: &[Vec<f64>]) -> Option<AssignmentResult> {
+        let n = cost.len();
+        if n == 0 {
+            return Some(AssignmentResult { row_to_col: vec![], cost: 0.0 });
+        }
+        let m = cost[0].len();
+        assert!(
+            cost.iter().all(|row| row.len() == m),
+            "cost matrix must be rectangular"
+        );
+        assert!(n <= m, "hungarian_min_cost requires rows <= cols");
+        debug_assert!(
+            cost.iter().flatten().all(|&c| c.is_infinite() || c.is_finite()),
+            "costs must be finite or +inf"
+        );
+
+        const INF: f64 = f64::INFINITY;
+        // p[c] = row matched to column c (0 = free), u/v = potentials.
+        self.reset(n, m);
+        let (u, v, p, way, minv, used) =
+            (&mut self.u, &mut self.v, &mut self.p, &mut self.way, &mut self.minv, &mut self.used);
+
+        for r in 1..=n {
+            p[0] = r;
+            let mut j0 = 0_usize;
+            minv[..=m].fill(INF);
+            used[..=m].fill(false);
+            loop {
+                used[j0] = true;
+                let i0 = p[j0];
+                let mut delta = INF;
+                let mut j1 = 0_usize;
+                for j in 1..=m {
+                    if used[j] {
+                        continue;
+                    }
+                    let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
                 }
-                let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
-                if cur < minv[j] {
-                    minv[j] = cur;
-                    way[j] = j0;
+                if !delta.is_finite() {
+                    // No augmenting path with finite cost: the instance is
+                    // infeasible (some row cannot be assigned).
+                    return None;
                 }
-                if minv[j] < delta {
-                    delta = minv[j];
-                    j1 = j;
+                for j in 0..=m {
+                    if used[j] {
+                        u[p[j]] += delta;
+                        v[j] -= delta;
+                    } else {
+                        minv[j] -= delta;
+                    }
+                }
+                j0 = j1;
+                if p[j0] == 0 {
+                    break;
                 }
             }
-            if !delta.is_finite() {
-                // No augmenting path with finite cost: the instance is
-                // infeasible (some row cannot be assigned).
+            // Augment along the alternating path.
+            loop {
+                let j1 = way[j0];
+                p[j0] = p[j1];
+                j0 = j1;
+                if j0 == 0 {
+                    break;
+                }
+            }
+        }
+
+        let mut row_to_col = vec![usize::MAX; n];
+        for c in 1..=m {
+            if p[c] != 0 {
+                row_to_col[p[c] - 1] = c - 1;
+            }
+        }
+        // All rows must be matched on a finite edge.
+        let mut total = 0.0;
+        for (r, &c) in row_to_col.iter().enumerate() {
+            if c == usize::MAX {
                 return None;
             }
-            for j in 0..=m {
-                if used[j] {
-                    u[p[j]] += delta;
-                    v[j] -= delta;
-                } else {
-                    minv[j] -= delta;
-                }
+            let edge = cost[r][c];
+            if !edge.is_finite() {
+                return None;
             }
-            j0 = j1;
-            if p[j0] == 0 {
-                break;
-            }
+            total += edge;
         }
-        // Augment along the alternating path.
-        loop {
-            let j1 = way[j0];
-            p[j0] = p[j1];
-            j0 = j1;
-            if j0 == 0 {
-                break;
-            }
-        }
+        Some(AssignmentResult { row_to_col, cost: total })
     }
+}
 
-    let mut row_to_col = vec![usize::MAX; n];
-    for c in 1..=m {
-        if p[c] != 0 {
-            row_to_col[p[c] - 1] = c - 1;
-        }
-    }
-    // All rows must be matched on a finite edge.
-    let mut total = 0.0;
-    for (r, &c) in row_to_col.iter().enumerate() {
-        if c == usize::MAX {
-            return None;
-        }
-        let edge = cost[r][c];
-        if !edge.is_finite() {
-            return None;
-        }
-        total += edge;
-    }
-    Some(AssignmentResult { row_to_col, cost: total })
+/// Solve one rectangular min-cost assignment with a fresh workspace. See
+/// [`HungarianWorkspace::solve`]; callers solving many instances should hold
+/// a workspace instead.
+pub fn hungarian_min_cost(cost: &[Vec<f64>]) -> Option<AssignmentResult> {
+    HungarianWorkspace::new().solve(cost)
 }
 
 #[cfg(test)]
@@ -208,6 +251,23 @@ mod tests {
     #[should_panic(expected = "rows <= cols")]
     fn too_many_rows_panics() {
         let _ = hungarian_min_cost(&[vec![1.0], vec![2.0]]);
+    }
+
+    #[test]
+    fn workspace_reuse_across_shapes_matches_fresh_solves() {
+        // One workspace solving growing/shrinking instances must agree with
+        // fresh per-instance solves (stale buffer contents must not leak).
+        let instances = [
+            vec![vec![4.0, 1.0, 3.0], vec![2.0, 0.0, 5.0], vec![3.0, 2.0, 2.0]],
+            vec![vec![10.0, 1.0, 7.0, 3.0], vec![2.0, 9.0, 8.0, 4.0]],
+            vec![vec![f64::INFINITY, 5.0], vec![1.0, f64::INFINITY]],
+            vec![vec![1.0, 2.0], vec![f64::INFINITY, f64::INFINITY]],
+            vec![vec![4.0, 1.0, 3.0], vec![2.0, 0.0, 5.0], vec![3.0, 2.0, 2.0]],
+        ];
+        let mut ws = HungarianWorkspace::new();
+        for cost in &instances {
+            assert_eq!(ws.solve(cost), hungarian_min_cost(cost));
+        }
     }
 
     #[test]

@@ -1,13 +1,23 @@
 //! Offline subset of the `criterion` API.
 //!
 //! Keeps the bench targets compiling and runnable without the real
-//! statistics engine: each benchmark is warmed up once, timed over a small
-//! number of iterations bounded by the group's `measurement_time`, and the
-//! mean wall-clock time per iteration is printed in a criterion-like
-//! format. `CPO_BENCH_FAST=1` caps every benchmark at one measured
-//! iteration (useful for smoke-testing all ten targets).
+//! statistics engine: each benchmark is warmed up once, timed per
+//! iteration over a small number of iterations bounded by the group's
+//! `measurement_time`, and the median/mean wall-clock times per iteration
+//! are printed in a criterion-like format. Two environment variables
+//! control the harness:
+//!
+//! * `CPO_BENCH_FAST=1` caps every benchmark at one measured iteration
+//!   (useful for smoke-testing all ten targets);
+//! * `CPO_BENCH_JSON=<path>` additionally merges every result into a
+//!   machine-readable JSON report at `<path>` — a flat object mapping the
+//!   full benchmark name to `{"median_ns", "mean_ns", "iters"}`. The file
+//!   is read-modified-written, so the sequential bench targets of a
+//!   `cargo bench` run (separate processes) accumulate into one report
+//!   and re-runs overwrite their own entries only.
 
 use std::fmt::Display;
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 /// Prevent the optimizer from discarding a value.
@@ -72,11 +82,11 @@ impl IntoBenchmarkId for String {
 pub struct Bencher {
     iterations: u64,
     budget: Duration,
-    mean: Option<Duration>,
+    samples: Vec<Duration>,
 }
 
 impl Bencher {
-    /// Measure `f`, called repeatedly, and record the mean time per call.
+    /// Measure `f`, called repeatedly, recording one sample per call.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         // One warm-up call, which also provides the budget estimate.
         let warm = Instant::now();
@@ -86,11 +96,12 @@ impl Bencher {
         // Fit the requested iteration count into the time budget.
         let fit = (self.budget.as_nanos() / per_call.as_nanos().max(1)) as u64;
         let n = self.iterations.min(fit).max(1);
-        let start = Instant::now();
+        self.samples.reserve(n as usize);
         for _ in 0..n {
+            let start = Instant::now();
             black_box(f());
+            self.samples.push(start.elapsed());
         }
-        self.mean = Some(start.elapsed() / n as u32);
     }
 }
 
@@ -153,15 +164,97 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// One finished benchmark measurement, as recorded in the JSON report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchRecord {
+    /// Full benchmark name (`group/function/parameter`).
+    pub name: String,
+    /// Median wall-clock time per iteration, nanoseconds.
+    pub median_ns: u128,
+    /// Mean wall-clock time per iteration, nanoseconds.
+    pub mean_ns: u128,
+    /// Number of measured iterations.
+    pub iters: u64,
+}
+
 /// The benchmark harness entry point.
 pub struct Criterion {
     fast: bool,
+    json_path: Option<PathBuf>,
+    records: Vec<BenchRecord>,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { fast: std::env::var_os("CPO_BENCH_FAST").is_some() }
+        Criterion {
+            fast: std::env::var_os("CPO_BENCH_FAST").is_some(),
+            json_path: std::env::var_os("CPO_BENCH_JSON").map(PathBuf::from),
+            records: Vec::new(),
+        }
     }
+}
+
+impl Drop for Criterion {
+    /// Merge this run's records into the JSON report, if one is requested.
+    fn drop(&mut self) {
+        let Some(path) = &self.json_path else { return };
+        if self.records.is_empty() {
+            return;
+        }
+        let mut merged = std::fs::read_to_string(path)
+            .map(|text| parse_report(&text))
+            .unwrap_or_default();
+        for rec in self.records.drain(..) {
+            merged.retain(|r| r.name != rec.name);
+            merged.push(rec);
+        }
+        merged.sort_by(|a, b| a.name.cmp(&b.name));
+        if let Err(err) = std::fs::write(path, render_report(&merged)) {
+            eprintln!("warning: could not write {}: {err}", path.display());
+        }
+    }
+}
+
+/// Parse a report previously written by [`render_report`]. Only the exact
+/// shape this shim emits is recognized — one `"name": {...}` entry per
+/// line with three integer fields.
+fn parse_report(text: &str) -> Vec<BenchRecord> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else { continue };
+        let Some((name, rest)) = rest.split_once('"') else { continue };
+        if !rest.contains("median_ns") {
+            continue;
+        }
+        let nums: Vec<u128> = rest
+            .split(|c: char| !c.is_ascii_digit())
+            .filter(|s| !s.is_empty())
+            .filter_map(|s| s.parse().ok())
+            .collect();
+        if let [median_ns, mean_ns, iters] = nums[..] {
+            out.push(BenchRecord {
+                name: name.to_string(),
+                median_ns,
+                mean_ns,
+                iters: iters as u64,
+            });
+        }
+    }
+    out
+}
+
+fn render_report(records: &[BenchRecord]) -> String {
+    let mut out = String::from("{\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        out.push_str(&format!(
+            "  \"{}\": {{\"median_ns\": {}, \"mean_ns\": {}, \"iters\": {}}}{comma}\n",
+            r.name, r.median_ns, r.mean_ns, r.iters
+        ));
+    }
+    out.push_str("}\n");
+    out
 }
 
 impl Criterion {
@@ -205,25 +298,39 @@ impl Criterion {
         } else {
             (sample_size, measurement_time)
         };
-        let mut b = Bencher { iterations, budget, mean: None };
+        let mut b = Bencher { iterations, budget, samples: Vec::new() };
         f(&mut b);
-        match b.mean {
-            Some(mean) => {
-                let extra = match throughput {
-                    Some(Throughput::Elements(n)) if mean.as_secs_f64() > 0.0 => {
-                        format!("  thrpt: {:.0} elem/s", n as f64 / mean.as_secs_f64())
-                    }
-                    Some(Throughput::Bytes(n) | Throughput::BytesDecimal(n))
-                        if mean.as_secs_f64() > 0.0 =>
-                    {
-                        format!("  thrpt: {:.0} B/s", n as f64 / mean.as_secs_f64())
-                    }
-                    _ => String::new(),
-                };
-                println!("{name:<50} time: {mean:>12.3?}/iter{extra}");
-            }
-            None => println!("{name:<50} (no measurement: Bencher::iter never called)"),
+        if b.samples.is_empty() {
+            println!("{name:<50} (no measurement: Bencher::iter never called)");
+            return;
         }
+        let n = b.samples.len();
+        let total: Duration = b.samples.iter().sum();
+        let mean = total / n as u32;
+        b.samples.sort();
+        let median = if n % 2 == 1 {
+            b.samples[n / 2]
+        } else {
+            (b.samples[n / 2 - 1] + b.samples[n / 2]) / 2
+        };
+        let extra = match throughput {
+            Some(Throughput::Elements(elems)) if mean.as_secs_f64() > 0.0 => {
+                format!("  thrpt: {:.0} elem/s", elems as f64 / mean.as_secs_f64())
+            }
+            Some(Throughput::Bytes(bytes) | Throughput::BytesDecimal(bytes))
+                if mean.as_secs_f64() > 0.0 =>
+            {
+                format!("  thrpt: {:.0} B/s", bytes as f64 / mean.as_secs_f64())
+            }
+            _ => String::new(),
+        };
+        println!("{name:<50} time: [median {median:>10.3?} mean {mean:>10.3?}]/iter{extra}");
+        self.records.push(BenchRecord {
+            name: name.to_string(),
+            median_ns: median.as_nanos(),
+            mean_ns: mean.as_nanos(),
+            iters: n as u64,
+        });
     }
 }
 
@@ -267,5 +374,29 @@ mod tests {
         });
         g.finish();
         assert!(calls >= 2); // warm-up + at least one timed iteration
+    }
+
+    #[test]
+    fn report_roundtrips_and_merges() {
+        let a = BenchRecord { name: "g/a/1".into(), median_ns: 120, mean_ns: 130, iters: 15 };
+        let b = BenchRecord { name: "g/b/2".into(), median_ns: 7, mean_ns: 9, iters: 100 };
+        let text = render_report(&[a.clone(), b.clone()]);
+        assert_eq!(parse_report(&text), vec![a.clone(), b.clone()]);
+
+        // Merge semantics: same-name entries are replaced, others kept.
+        let dir = std::env::temp_dir().join(format!("cpo-criterion-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        std::fs::write(&path, text).unwrap();
+        let updated = BenchRecord { name: "g/a/1".into(), median_ns: 99, mean_ns: 99, iters: 3 };
+        let c = Criterion {
+            fast: true,
+            json_path: Some(path.clone()),
+            records: vec![updated.clone()],
+        };
+        drop(c); // Drop runs the merge
+        let merged = parse_report(&std::fs::read_to_string(&path).unwrap());
+        assert_eq!(merged, vec![updated, b]);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

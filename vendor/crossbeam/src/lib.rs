@@ -1,8 +1,64 @@
-//! Offline subset of the `crossbeam` API backed by `std::sync::mpsc`.
+//! Offline subset of the `crossbeam` API backed by the standard library.
 //!
-//! Provides `crossbeam::channel::{bounded, Sender, Receiver}` with the
-//! blocking-send semantics the live pipeline executor relies on. Only a
-//! single consumer per receiver is supported (all this workspace needs).
+//! Provides `crossbeam::channel::{bounded, Sender, Receiver}` (backed by
+//! `std::sync::mpsc`) with the blocking-send semantics the live pipeline
+//! executor relies on — only a single consumer per receiver is supported —
+//! and `crossbeam::scope` / `crossbeam::thread::scope` (backed by
+//! `std::thread::scope`) for the borrowing fan-out the Pareto sweep engine
+//! uses.
+
+pub mod thread {
+    //! Scoped threads, mirroring `crossbeam::thread`.
+
+    use std::any::Any;
+
+    /// Boxed panic payload, as returned by `std::thread::JoinHandle::join`.
+    pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+    /// A scope handle: spawned threads may borrow from the enclosing stack
+    /// frame and are all joined before [`scope`] returns.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a thread spawned inside a [`Scope`].
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Wait for the thread to finish; `Err` carries its panic payload.
+        pub fn join(self) -> Result<T, PanicPayload> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. As in crossbeam, the closure
+        /// receives the scope handle so it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle { inner: inner.spawn(move || f(&Scope { inner })) }
+        }
+    }
+
+    /// Create a scope for spawning borrowing threads. Every spawned thread
+    /// is joined when the closure returns; unlike crossbeam, a panic in an
+    /// *unjoined* thread propagates as a panic here rather than an `Err`
+    /// (explicitly joined threads report through their handle as usual).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+pub use thread::scope;
 
 pub mod channel {
     use std::sync::mpsc;
@@ -88,6 +144,28 @@ pub mod channel {
 #[cfg(test)]
 mod tests {
     use super::channel::bounded;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total: u64 = super::scope(|s| {
+            let handles: Vec<_> =
+                data.chunks(2).map(|ch| s.spawn(move |_| ch.iter().sum::<u64>())).collect();
+            handles.into_iter().map(|h| h.join().expect("no panic")).sum()
+        })
+        .expect("scope succeeds");
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn scoped_panic_reported_via_join() {
+        let res = super::scope(|s| {
+            let h = s.spawn(|_| -> u32 { panic!("boom") });
+            h.join()
+        })
+        .expect("scope itself succeeds");
+        assert!(res.is_err());
+    }
 
     #[test]
     fn bounded_roundtrip() {
