@@ -61,7 +61,10 @@ fn bench(c: &mut Criterion) {
             })
         });
     }
-    for n in [8usize, 16, 32] {
+    // n = 128/256 were previously too slow to bench (quadratic core plus a
+    // per-solve allocation storm); the run-decomposed flat-arena DP scales
+    // near-linearly, so the ladder now extends to them.
+    for n in [8usize, 16, 32, 128, 256] {
         let (apps, pf) = fully_hom_instance(2, n, 8, (3, 3));
         let tb = workable_period_bounds(&apps, 4.0);
         g.bench_with_input(BenchmarkId::new("interval_dp_thm18_21", n), &n, |b, _| {
@@ -87,6 +90,23 @@ fn bench(c: &mut Criterion) {
             period_energy_front(black_box(&apps), &pf, CommModel::Overlap, MappingKind::Interval)
         })
     });
+
+    // Scaling rows previously out of reach: full front extraction at n=128
+    // and n=256 through the sweep engine only (the naive baseline would
+    // take minutes per iteration there).
+    for n in [128usize, 256] {
+        let (apps, pf) = fully_hom_instance(2, n, 8, (4, 4));
+        g.bench_with_input(BenchmarkId::new("front_interval_sweep_scale", n), &n, |b, _| {
+            b.iter(|| {
+                period_energy_front(
+                    black_box(&apps),
+                    &pf,
+                    CommModel::Overlap,
+                    MappingKind::Interval,
+                )
+            })
+        });
+    }
 
     // One-to-one counterpart (Theorem 19 matching per candidate).
     let (apps, pf) = comm_hom_instance(2, 8, 16, (2, 2));

@@ -1,0 +1,158 @@
+//! Compare two bench JSON reports (the `CPO_BENCH_JSON` format of the
+//! vendored criterion shim: a flat object mapping benchmark names to
+//! `{"median_ns", "mean_ns", "iters"}`) and gate CI on regressions.
+//!
+//! ```text
+//! bench_diff <baseline.json> <current.json> \
+//!     [--fail-ratio 2.0] [--warn-ratio 1.2] [--min-fail-ns 100000]
+//! ```
+//!
+//! For every key present in **both** reports the median ratio
+//! `current / baseline` is computed:
+//!
+//! * ratio > fail-ratio  → counted as a regression; exit code 1 at the end;
+//! * ratio > warn-ratio  → a `::warning::` GitHub annotation, job passes;
+//! * otherwise           → OK (improvements are reported informationally).
+//!
+//! Keys whose *baseline* median is below `--min-fail-ns` (default 100 µs)
+//! can only ever warn: nanosecond-scale medians are dominated by host and
+//! scheduling noise, and a cross-host 2× on a 300 ns benchmark is not a
+//! regression signal. Keys present in only one report are listed but never
+//! fail the job (new benchmarks appear, old ones get renamed). The parser
+//! is hand-rolled for exactly the shim's flat format — no JSON dependency.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn parse_report(text: &str) -> BTreeMap<String, f64> {
+    // Format: { "name": {"median_ns": N, "mean_ns": N, "iters": N}, ... }
+    let mut out = BTreeMap::new();
+    for chunk in text.split('}') {
+        let Some(median_pos) = chunk.find("\"median_ns\"") else { continue };
+        // Key = last quoted string before the value object opens.
+        let head = &chunk[..median_pos];
+        let Some(open) = head.rfind(':') else { continue };
+        let key: String = head[..open]
+            .rsplit('"')
+            .nth(1)
+            .unwrap_or_default()
+            .to_string();
+        let tail = &chunk[median_pos..];
+        let Some(colon) = tail.find(':') else { continue };
+        let digits: String = tail[colon + 1..]
+            .trim_start()
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        if let (false, Ok(v)) = (key.is_empty(), digits.parse::<f64>()) {
+            out.insert(key, v);
+        }
+    }
+    out
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut fail_ratio = 2.0f64;
+    let mut warn_ratio = 1.2f64;
+    let mut min_fail_ns = 100_000.0f64;
+    let mut files = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--fail-ratio" => {
+                fail_ratio = it.next().and_then(|v| v.parse().ok()).unwrap_or(fail_ratio)
+            }
+            "--warn-ratio" => {
+                warn_ratio = it.next().and_then(|v| v.parse().ok()).unwrap_or(warn_ratio)
+            }
+            "--min-fail-ns" => {
+                min_fail_ns = it.next().and_then(|v| v.parse().ok()).unwrap_or(min_fail_ns)
+            }
+            other => files.push(other.to_string()),
+        }
+    }
+    if files.len() != 2 {
+        eprintln!(
+            "usage: bench_diff <baseline.json> <current.json> \
+             [--fail-ratio R] [--warn-ratio R] [--min-fail-ns N]"
+        );
+        return ExitCode::from(2);
+    }
+    let read = |path: &str| -> Option<BTreeMap<String, f64>> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Some(parse_report(&text)),
+            Err(e) => {
+                eprintln!("bench_diff: cannot read {path}: {e}");
+                None
+            }
+        }
+    };
+    let (Some(base), Some(cur)) = (read(&files[0]), read(&files[1])) else {
+        return ExitCode::from(2);
+    };
+
+    let mut regressions = 0usize;
+    let mut warnings = 0usize;
+    let mut shared = 0usize;
+    for (key, &b) in &base {
+        let Some(&c) = cur.get(key) else {
+            println!("  [gone] {key} (only in baseline)");
+            continue;
+        };
+        shared += 1;
+        if b <= 0.0 {
+            continue;
+        }
+        let ratio = c / b;
+        if ratio > fail_ratio && b >= min_fail_ns {
+            regressions += 1;
+            println!("::error::bench regression {key}: {b:.0} ns -> {c:.0} ns ({ratio:.2}x > {fail_ratio}x)");
+        } else if ratio > warn_ratio {
+            warnings += 1;
+            println!("::warning::bench slower {key}: {b:.0} ns -> {c:.0} ns ({ratio:.2}x)");
+        } else if ratio < 1.0 / warn_ratio {
+            println!("  [faster] {key}: {b:.0} ns -> {c:.0} ns ({ratio:.2}x)");
+        } else {
+            println!("  [ok] {key}: {ratio:.2}x");
+        }
+    }
+    for key in cur.keys() {
+        if !base.contains_key(key) {
+            println!("  [new] {key} (no baseline)");
+        }
+    }
+    println!(
+        "bench_diff: {shared} shared keys, {warnings} warnings (> {warn_ratio}x), \
+         {regressions} regressions (> {fail_ratio}x)"
+    );
+    if regressions > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_report;
+
+    #[test]
+    fn parses_the_shim_format() {
+        let text = r#"{
+  "a/b/8": {"median_ns": 4854, "mean_ns": 5099, "iters": 15},
+  "c d": {"median_ns": 201766614, "mean_ns": 204360161, "iters": 9}
+}"#;
+        let map = parse_report(text);
+        assert_eq!(map.len(), 2);
+        assert_eq!(map["a/b/8"], 4854.0);
+        assert_eq!(map["c d"], 201766614.0);
+    }
+
+    #[test]
+    fn empty_and_garbage_are_harmless() {
+        assert!(parse_report("").is_empty());
+        assert!(parse_report("{}").is_empty());
+        assert!(parse_report("not json at all").is_empty());
+    }
+}

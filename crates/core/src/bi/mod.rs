@@ -33,6 +33,27 @@ pub fn interval_cost_tables(
     platform: &Platform,
     model: CommModel,
 ) -> Option<Vec<IntervalCostTable>> {
+    interval_cost_tables_inner(apps, platform, model, false)
+}
+
+/// [`interval_cost_tables`] with [`IntervalCostTable::build_lean`]: no
+/// `O(n²·modes)` cycle matrices. Only for the one-shot overlap-model energy
+/// path, whose run-decomposed core never reads them — lean tables must not
+/// escape to latency solvers or candidate enumeration.
+pub(crate) fn interval_cost_tables_lean(
+    apps: &AppSet,
+    platform: &Platform,
+    model: CommModel,
+) -> Option<Vec<IntervalCostTable>> {
+    interval_cost_tables_inner(apps, platform, model, true)
+}
+
+fn interval_cost_tables_inner(
+    apps: &AppSet,
+    platform: &Platform,
+    model: CommModel,
+    lean: bool,
+) -> Option<Vec<IntervalCostTable>> {
     let (speeds, b) = fully_hom_params(platform)?;
     if platform.p() < apps.a() {
         return None;
@@ -44,7 +65,11 @@ pub fn interval_cost_tables(
             .map(|app| {
                 let mut ctx = HomCtx::new(app, &speeds, b, model);
                 ctx.e_stat = e_stat;
-                IntervalCostTable::build(&ctx)
+                if lean {
+                    IntervalCostTable::build_lean(&ctx)
+                } else {
+                    IntervalCostTable::build(&ctx)
+                }
             })
             .collect(),
     )

@@ -19,10 +19,10 @@
 //! workspaces, which the Pareto sweep engine calls once per candidate
 //! period without re-deriving any per-instance constant.
 
-use crate::dp::{energy_under_period_with, EnergyTable, IntervalCostTable};
+use crate::dp::{energy_dp, DpWorkspace, IntervalCostTable};
 use crate::mono::period_interval::mapping_from_partitions;
 use crate::solution::Solution;
-use cpo_matching::HungarianWorkspace;
+use cpo_matching::{CostMatrix, HungarianWorkspace};
 use cpo_model::num;
 use cpo_model::prelude::*;
 
@@ -132,18 +132,20 @@ impl StageCostTable {
     }
 
     /// Fill the stages × processors energy matrix for the given
-    /// per-application period bounds, reusing `matrix`'s allocation.
-    pub fn fill_matrix(&self, period_bounds: &[f64], matrix: &mut Vec<Vec<f64>>) {
-        matrix.resize_with(self.rows(), Vec::new);
-        for (row, out) in matrix.iter_mut().enumerate() {
+    /// per-application period bounds into a flat [`CostMatrix`] arena
+    /// (no per-row allocation; the buffer is reused across candidates).
+    pub fn fill_matrix(&self, period_bounds: &[f64], matrix: &mut CostMatrix) {
+        matrix.reset(self.rows(), self.p);
+        for row in 0..self.rows() {
             let (a, _) = self.stage_ids[row];
             let bound = period_bounds[a];
-            out.clear();
-            out.extend((0..self.p).map(|u| {
-                self.feasible_mode(row, u, bound)
+            let out = matrix.row_mut(row);
+            for (u, slot) in out.iter_mut().enumerate() {
+                *slot = self
+                    .feasible_mode(row, u, bound)
                     .map(|m| self.mode_energy[self.proc_off[u] + m])
-                    .unwrap_or(f64::INFINITY)
-            }));
+                    .unwrap_or(f64::INFINITY);
+            }
         }
     }
 
@@ -174,24 +176,25 @@ pub fn min_energy_one_to_one_matching(
 ) -> Option<Solution> {
     let table = StageCostTable::build(apps, platform, model)?;
     let mut workspace = HungarianWorkspace::new();
-    let mut matrix = Vec::new();
+    let mut matrix = CostMatrix::new();
     min_energy_one_to_one_with_table(apps, platform, &table, period_bounds, &mut workspace, &mut matrix)
 }
 
 /// [`min_energy_one_to_one_matching`] on a prebuilt [`StageCostTable`] with
-/// reusable Hungarian workspace and cost-matrix buffers — the per-candidate
-/// form of a Pareto sweep (no allocations beyond the returned mapping).
+/// reusable Hungarian workspace and flat cost-matrix arena — the
+/// per-candidate form of a Pareto sweep (no allocations beyond the returned
+/// mapping).
 pub fn min_energy_one_to_one_with_table(
     apps: &AppSet,
     platform: &Platform,
     table: &StageCostTable,
     period_bounds: &[f64],
     workspace: &mut HungarianWorkspace,
-    matrix: &mut Vec<Vec<f64>>,
+    matrix: &mut CostMatrix,
 ) -> Option<Solution> {
     assert_eq!(period_bounds.len(), apps.a(), "one period bound per application");
     table.fill_matrix(period_bounds, matrix);
-    let result = workspace.solve(matrix)?;
+    let result = workspace.solve_flat(matrix)?;
     let mut mapping = Mapping::new();
     for row in 0..table.rows() {
         let (a, k) = table.stage_id(row);
@@ -219,17 +222,39 @@ pub fn min_energy_interval_fully_hom(
     model: CommModel,
     period_bounds: &[f64],
 ) -> Option<Solution> {
-    let tables = crate::bi::interval_cost_tables(apps, platform, model)?;
+    // One-shot path: under the overlap model the run-decomposed energy
+    // core never reads the O(n²·modes) cycle matrices, so build lean
+    // tables (cheap fields only) instead of the full shared tables a
+    // sweep would want.
+    let tables = if matches!(model, CommModel::Overlap) {
+        crate::bi::interval_cost_tables_lean(apps, platform, model)?
+    } else {
+        crate::bi::interval_cost_tables(apps, platform, model)?
+    };
     min_energy_interval_with_tables(apps, platform, &tables, period_bounds)
 }
 
 /// [`min_energy_interval_fully_hom`] on prebuilt per-application
-/// [`IntervalCostTable`]s — the per-candidate form of a Pareto sweep.
+/// [`IntervalCostTable`]s.
 pub fn min_energy_interval_with_tables(
     apps: &AppSet,
     platform: &Platform,
     tables: &[IntervalCostTable],
     period_bounds: &[f64],
+) -> Option<Solution> {
+    min_energy_interval_scratch(apps, platform, tables, period_bounds, &mut DpWorkspace::new())
+}
+
+/// [`min_energy_interval_with_tables`] on a reusable [`DpWorkspace`] — the
+/// per-candidate form of a Pareto sweep: the Theorem 18 DPs, the Theorem 21
+/// convolution and the single-interval cost rows all live in flat arenas
+/// reused across candidates (zero allocation besides the returned mapping).
+pub fn min_energy_interval_scratch(
+    apps: &AppSet,
+    platform: &Platform,
+    tables: &[IntervalCostTable],
+    period_bounds: &[f64],
+    workspace: &mut DpWorkspace,
 ) -> Option<Solution> {
     assert_eq!(period_bounds.len(), apps.a(), "one period bound per application");
     let p = platform.p();
@@ -239,37 +264,40 @@ pub fn min_energy_interval_with_tables(
     }
     let qmax = p - a_count + 1;
 
-    // Per-application tables E_a^q (exactly q processors).
-    let dp_tables: Vec<EnergyTable> = tables
-        .iter()
-        .zip(period_bounds)
-        .map(|(table, &tb)| energy_under_period_with(table, tb, qmax))
-        .collect();
+    // Per-application tables E_a^q (exactly q processors), each in its own
+    // persistent scratch (mode frontiers survive across candidates).
+    for (a, (table, &tb)) in tables.iter().zip(period_bounds).enumerate() {
+        energy_dp(table, tb, qmax, workspace.app_scratch(a));
+    }
+    let DpWorkspace { per_app, conv_e, conv_choice, .. } = workspace;
 
     // Theorem 21 convolution: E(a, k) = min_q (E_a^q + E(a-1, k-q)).
     let inf = f64::INFINITY;
-    let mut e = vec![vec![inf; p + 1]; a_count + 1];
-    let mut choice = vec![vec![usize::MAX; p + 1]; a_count + 1];
-    e[0][0] = 0.0;
+    let stride = p + 1;
+    conv_e.clear();
+    conv_e.resize((a_count + 1) * stride, inf);
+    conv_choice.clear();
+    conv_choice.resize((a_count + 1) * stride, u32::MAX);
+    conv_e[0] = 0.0;
     for a in 1..=a_count {
-        let tbl = &dp_tables[a - 1];
+        let exact_k = per_app[a - 1].energy_exact_k();
         for k in a..=p {
             let mut best = inf;
-            let mut arg = usize::MAX;
-            let qcap = tbl.exact_k.len().min(k - (a - 1));
+            let mut arg = u32::MAX;
+            let qcap = exact_k.len().min(k - (a - 1));
             for q in 1..=qcap {
-                let prev = e[a - 1][k - q];
-                let cur = tbl.exact_k[q - 1];
+                let prev = conv_e[(a - 1) * stride + k - q];
+                let cur = exact_k[q - 1];
                 if prev.is_finite() && cur.is_finite() && prev + cur < best {
                     best = prev + cur;
-                    arg = q;
+                    arg = q as u32;
                 }
             }
-            e[a][k] = best;
-            choice[a][k] = arg;
+            conv_e[a * stride + k] = best;
+            conv_choice[a * stride + k] = arg;
         }
     }
-    let (k_best, &e_best) = e[a_count]
+    let (k_best, &e_best) = conv_e[a_count * stride..(a_count + 1) * stride]
         .iter()
         .enumerate()
         .min_by(|(_, x), (_, y)| x.partial_cmp(y).expect("no NaN"))?;
@@ -281,12 +309,12 @@ pub fn min_energy_interval_with_tables(
     let mut counts = vec![0usize; a_count];
     let mut k = k_best;
     for a in (1..=a_count).rev() {
-        let q = choice[a][k];
+        let q = conv_choice[a * stride + k] as usize;
         counts[a - 1] = q;
         k -= q;
     }
     let partitions: Vec<_> = (0..a_count)
-        .map(|a| dp_tables[a].partition_exact(counts[a]).expect("finite energy"))
+        .map(|a| per_app[a].energy_partition_exact(counts[a]).expect("finite energy"))
         .collect();
     let mapping = mapping_from_partitions(&partitions);
     debug_assert!(mapping.validate(apps, platform).is_ok());
@@ -364,7 +392,7 @@ mod tests {
         let pf = Platform::comm_homogeneous(procs, 1.0).unwrap();
         let table = StageCostTable::build(&apps, &pf, CommModel::Overlap).unwrap();
         let mut ws = HungarianWorkspace::new();
-        let mut matrix = Vec::new();
+        let mut matrix = CostMatrix::new();
         for tb in [0.2, 0.5, 1.0, 2.0, 3.0, 7.0, 14.0] {
             let bounds = [tb, tb];
             let one_shot =

@@ -10,7 +10,8 @@
 
 use crate::alloc::allocate_processors;
 use crate::dp::{
-    latency_under_period_with, min_period_under_latency_with, IntervalCostTable, LatencyTable,
+    latency_dp, min_period_under_latency_probe, min_period_under_latency_scratch, DpScratch,
+    DpWorkspace, IntervalCostTable,
 };
 use crate::mono::period_interval::mapping_from_partitions;
 use crate::solution::Solution;
@@ -31,12 +32,25 @@ pub fn min_latency_under_period_fully_hom(
 }
 
 /// [`min_latency_under_period_fully_hom`] on prebuilt per-application
-/// [`IntervalCostTable`]s — the per-candidate form of a Pareto sweep.
+/// [`IntervalCostTable`]s.
 pub fn min_latency_under_period_with_tables(
     apps: &AppSet,
     platform: &Platform,
     tables: &[IntervalCostTable],
     period_bounds: &[f64],
+) -> Option<Solution> {
+    min_latency_under_period_scratch(apps, platform, tables, period_bounds, &mut DpWorkspace::new())
+}
+
+/// [`min_latency_under_period_with_tables`] on a reusable [`DpWorkspace`] —
+/// the per-candidate form of a Pareto sweep (per-application Theorem 15
+/// tables live in flat arenas reused across candidates).
+pub fn min_latency_under_period_scratch(
+    apps: &AppSet,
+    platform: &Platform,
+    tables: &[IntervalCostTable],
+    period_bounds: &[f64],
+    workspace: &mut DpWorkspace,
 ) -> Option<Solution> {
     assert_eq!(period_bounds.len(), apps.a(), "one period bound per application");
     let p = platform.p();
@@ -45,21 +59,22 @@ pub fn min_latency_under_period_with_tables(
         return None;
     }
     let qmax = p - a_count + 1;
-    // Precompute per-application latency tables under their own bound.
-    let dp_tables: Vec<LatencyTable> = tables
-        .iter()
-        .zip(period_bounds)
-        .map(|(table, &tb)| latency_under_period_with(table, tb, qmax))
-        .collect();
+    // Per-application latency tables under their own bound, in persistent
+    // scratch arenas.
+    for (a, (table, &tb)) in tables.iter().zip(period_bounds).enumerate() {
+        latency_dp(table, tb, qmax, workspace.app_scratch(a));
+    }
+    let per_app = &workspace.per_app;
     let weights: Vec<f64> = apps.apps.iter().map(|a| a.weight).collect();
-    let alloc = allocate_processors(a_count, p, &weights, |a, q| dp_tables[a].best[q - 1])?;
+    let alloc =
+        allocate_processors(a_count, p, &weights, |a, q| per_app[a].best_row()[q - 1])?;
     if !alloc.objective.is_finite() {
         return None;
     }
     let partitions: Vec<_> = (0..a_count)
         .map(|a| {
             let top = tables[a].modes() - 1;
-            dp_tables[a].partition(alloc.procs[a], top).expect("finite objective")
+            per_app[a].latency_partition(alloc.procs[a], top).expect("finite objective")
         })
         .collect();
     let mapping = mapping_from_partitions(&partitions);
@@ -83,23 +98,32 @@ pub fn min_period_under_latency_fully_hom(
     let a_count = apps.a();
     let weights: Vec<f64> = apps.apps.iter().map(|a| a.weight).collect();
     // Candidate-period sets built once per application, reused by every
-    // (latency bound, processor count) probe of the allocation.
+    // (latency bound, processor count) probe of the allocation. The probes
+    // run the lean best-only recurrence on one shared scratch; only the
+    // final per-application solves materialize parents.
     let candidates: Vec<Vec<f64>> = tables.iter().map(|t| t.candidates()).collect();
+    let mut scratch = DpScratch::new();
     let alloc = allocate_processors(a_count, p, &weights, |a, q| {
-        min_period_under_latency_with(&tables[a], &candidates[a], latency_bounds[a], q)
-            .map(|(t, _)| t)
-            .unwrap_or(f64::INFINITY)
+        min_period_under_latency_probe(
+            &tables[a],
+            &candidates[a],
+            latency_bounds[a],
+            q,
+            &mut scratch,
+        )
+        .unwrap_or(f64::INFINITY)
     })?;
     if !alloc.objective.is_finite() {
         return None;
     }
     let partitions: Vec<_> = (0..a_count)
         .map(|a| {
-            min_period_under_latency_with(
+            min_period_under_latency_scratch(
                 &tables[a],
                 &candidates[a],
                 latency_bounds[a],
                 alloc.procs[a],
+                &mut scratch,
             )
             .expect("finite objective")
             .1

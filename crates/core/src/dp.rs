@@ -16,12 +16,42 @@
 //!   with the per-interval cheapest-feasible-mode rule (the `E(i, j, k)`
 //!   recurrence of Theorem 18).
 //!
-//! All programs run in `O(n²·q)` (times the number of modes for energy) and
-//! return reconstructible partitions.
+//! # The fast cores
+//!
+//! All recurrences run through three shared, **exactness-preserving**
+//! optimizations (every `best` value, table entry and reconstructed
+//! partition is bit-for-bit identical to the textbook `O(n²·q)` scans —
+//! proved by the `dp_scratch_equivalence` oracle tests):
+//!
+//! 1. **Monotone work-window pruning.** Under both communication models the
+//!    cycle-time of `[j, i-1]` is lower-bounded by its compute term
+//!    `W(j, i-1)/s_top`, which is non-increasing in `j` and non-decreasing
+//!    in `i`. For the bounded DPs (latency/energy) every split `j` below
+//!    the two-pointer frontier `jw(i)` is therefore infeasible and is
+//!    skipped without being evaluated; for the unbounded period DP the
+//!    inner scan walks `j` *descending* and stops as soon as the compute
+//!    lower bound alone exceeds the incumbent. Tight thresholds — the
+//!    common case inside a Pareto sweep — clip the quadratic scan to a
+//!    near-constant window. (The classic divide-and-conquer argmin
+//!    recursion is *not* used: the split argmin is provably non-monotone
+//!    here — the no-overlap model and non-convex mode-energy steps both
+//!    break the quadrangle inequality — so it could not reproduce the
+//!    reference cores exactly.)
+//! 2. **Flat arena storage.** All DP state lives in a reusable
+//!    [`DpScratch`] (single row-major buffers), threaded through the
+//!    Pareto sweep's per-thread [`crate::sweep::CandidateSolver`] state via
+//!    [`DpWorkspace`] exactly like `HungarianWorkspace`: zero allocation
+//!    per candidate solve.
+//! 3. **Incremental sweep-wide mode frontiers.** The cheapest feasible
+//!    mode of `(lo, hi)` is monotone in the threshold, so the scratch
+//!    caches each cell's mode partition point across solves and walks it
+//!    (usually 0–1 steps) instead of re-binary-searching, amortizing the
+//!    `O(n²·modes)` single-interval cost table across a whole sweep.
 
 #![allow(clippy::needless_range_loop)]
 use cpo_model::application::Application;
 use cpo_model::energy::EnergyModel;
+use cpo_model::error::ModelError;
 use cpo_model::eval::CommModel;
 use cpo_model::num;
 
@@ -100,7 +130,8 @@ impl<'a> HomCtx<'a> {
 // ---------------------------------------------------------------------------
 
 /// Precomputed per-application interval costs: every `cycle(lo, hi, s)`,
-/// per-mode energies, and the top-mode latency terms of [`HomCtx`].
+/// per-mode energies, the top-mode latency terms and the work prefix sums of
+/// [`HomCtx`].
 ///
 /// The Pareto sweep engine re-runs the Theorem 15/18/21 dynamic programs
 /// once per candidate period; without this table each run recomputes the
@@ -123,6 +154,22 @@ pub struct IntervalCostTable {
     latency_top: Vec<f64>,
     /// Input-edge latency `δ^0 / b` of the whole chain.
     input_edge: f64,
+    /// Work prefix sums (`work_prefix[k]` = total work of stages `0..k`),
+    /// bitwise-identical to [`Application::interval_work`]'s internal sums.
+    work_prefix: Vec<f64>,
+    /// Top speed `s_top` (for the compute-term lower bound).
+    top_speed: f64,
+    /// The speed set (ascending) — the exact divisors of the cycle compute
+    /// terms, for the per-mode feasibility boundaries.
+    speeds: Vec<f64>,
+    /// Incoming-edge term `input_of(lo)/b` per stage — the exact first
+    /// operand of every `cycle(lo, ·, ·)`.
+    in_edge: Vec<f64>,
+    /// Outgoing-edge term `output_of(hi)/b` per stage — the exact last
+    /// operand of every `cycle(·, hi, ·)`.
+    out_edge: Vec<f64>,
+    /// Communication model the cycle-times were combined under.
+    model: CommModel,
 }
 
 impl IntervalCostTable {
@@ -134,24 +181,60 @@ impl IntervalCostTable {
         let mut cycle = vec![f64::INFINITY; n * n * modes];
         let mut latency_top = vec![f64::INFINITY; n * n];
         for lo in 0..n {
+            // Hoist the per-lo and per-cell operands: same exact float
+            // expressions as `ctx.cycle`/`ctx.latency_term`, computed once
+            // instead of once per mode.
+            let incoming = ctx.app.input_of(lo) / ctx.bandwidth;
             for hi in lo..n {
+                let work = ctx.app.interval_work(lo, hi);
+                let outgoing = ctx.app.output_of(hi) / ctx.bandwidth;
                 let base = (lo * n + hi) * modes;
                 for (m, &s) in ctx.speeds.iter().enumerate() {
-                    cycle[base + m] = ctx.cycle(lo, hi, s);
+                    cycle[base + m] = ctx.model.combine(incoming, work / s, outgoing);
                 }
-                latency_top[lo * n + hi] = ctx.latency_term(lo, hi, top);
+                latency_top[lo * n + hi] = work / top + outgoing;
             }
         }
+        Self::assemble(ctx, cycle, latency_top)
+    }
+
+    /// Lean build for the overlap-model energy path: every cheap field
+    /// (work prefix, edges, speeds, mode energies) but **no** `O(n²·modes)`
+    /// cycle matrix and no latency terms. The run-decomposed energy core is
+    /// the only consumer that needs nothing else; any accidental use of
+    /// `cycle`/`top_cycle`/`latency_term_top`/`candidates` on a lean table
+    /// panics on an out-of-bounds slice, so lean tables must not escape the
+    /// one-shot solvers that create them.
+    pub(crate) fn build_lean(ctx: &HomCtx<'_>) -> Self {
+        Self::assemble(ctx, Vec::new(), Vec::new())
+    }
+
+    fn assemble(ctx: &HomCtx<'_>, cycle: Vec<f64>, latency_top: Vec<f64>) -> Self {
+        let n = ctx.app.n();
         let mode_energy =
             ctx.speeds.iter().map(|&s| ctx.e_stat + ctx.energy.dynamic(s)).collect();
+        let mut work_prefix = Vec::with_capacity(n + 1);
+        work_prefix.push(0.0);
+        for k in 1..=n {
+            // `interval_work(0, k-1)` = prefix[k] − 0.0 = prefix[k] exactly.
+            work_prefix.push(ctx.app.interval_work(0, k - 1));
+        }
+        let in_edge = (0..n).map(|k| ctx.app.input_of(k) / ctx.bandwidth).collect();
+        let out_edge = (0..n).map(|k| ctx.app.output_of(k) / ctx.bandwidth).collect();
         IntervalCostTable {
             n,
-            modes,
+            modes: ctx.speeds.len(),
             weight: ctx.app.weight,
             mode_energy,
             cycle,
             latency_top,
             input_edge: ctx.app.input_of(0) / ctx.bandwidth,
+            work_prefix,
+            top_speed: ctx.max_speed(),
+            speeds: ctx.speeds.to_vec(),
+            in_edge,
+            out_edge,
+            model: ctx.model,
         }
     }
 
@@ -173,10 +256,42 @@ impl IntervalCostTable {
         self.cycle[(lo * self.n + hi) * self.modes + m]
     }
 
+    /// All mode cycle-times of `[lo, hi]` (descending over modes).
+    #[inline]
+    pub(crate) fn cycle_row(&self, lo: usize, hi: usize) -> &[f64] {
+        let base = (lo * self.n + hi) * self.modes;
+        &self.cycle[base..base + self.modes]
+    }
+
     /// Cycle-time of `[lo, hi]` at the top mode.
     #[inline]
     pub fn top_cycle(&self, lo: usize, hi: usize) -> f64 {
         self.cycle(lo, hi, self.modes - 1)
+    }
+
+    /// Compute term `W(lo, hi) / s_top` of `[lo, hi]` at the top mode —
+    /// bitwise-identical to the compute operand inside [`HomCtx::cycle`],
+    /// and a lower bound of the cycle-time at *every* mode under both
+    /// communication models. Non-increasing in `lo`, non-decreasing in
+    /// `hi`: the monotone quantity behind the DP work windows.
+    #[inline]
+    pub fn top_compute(&self, lo: usize, hi: usize) -> f64 {
+        (self.work_prefix[hi + 1] - self.work_prefix[lo]) / self.top_speed
+    }
+
+    /// Compute term `W(lo, hi) / s_m` at mode `m` (same exact expression as
+    /// the cycle's compute operand).
+    #[inline]
+    fn compute_at(&self, lo: usize, hi: usize, m: usize) -> f64 {
+        (self.work_prefix[hi + 1] - self.work_prefix[lo]) / self.speeds[m]
+    }
+
+    /// True when the cycle-times were combined under the overlap model, in
+    /// which the cycle is an exact three-way max — the structural property
+    /// the run-decomposed energy core relies on.
+    #[inline]
+    fn is_overlap(&self) -> bool {
+        matches!(self.model, CommModel::Overlap)
     }
 
     /// Latency term of `[lo, hi]` at the top mode.
@@ -195,8 +310,7 @@ impl IntervalCostTable {
     /// partition-point binary search (cycle-times descend over modes).
     /// Identical to [`HomCtx::cheapest_feasible_mode`].
     pub fn cheapest_feasible_mode(&self, lo: usize, hi: usize, t_bound: f64) -> Option<(usize, f64)> {
-        let base = (lo * self.n + hi) * self.modes;
-        let row = &self.cycle[base..base + self.modes];
+        let row = self.cycle_row(lo, hi);
         let m = row.partition_point(|&c| !num::le(c, t_bound));
         (m < self.modes).then(|| (m, self.mode_energy[m]))
     }
@@ -247,6 +361,346 @@ impl Partition {
 }
 
 // ---------------------------------------------------------------------------
+// Flat DP arenas
+// ---------------------------------------------------------------------------
+
+const NONE_U32: u32 = u32::MAX;
+
+/// Reusable flat workspace for the chain-partition dynamic programs.
+///
+/// One scratch holds every buffer a single-application solve needs — the
+/// `(k, i)` value/parent/mode tables as row-major arenas, the two-pointer
+/// work window, the single-interval cost row and the per-cell cheapest-mode
+/// frontier — and is reused across solves (any mix of thresholds, programs
+/// and applications; buffers grow to the largest instance seen). A Pareto
+/// sweep worker keeps one [`DpWorkspace`] (one scratch per application) in
+/// its [`crate::sweep::CandidateSolver::State`], eliminating every
+/// per-candidate allocation.
+///
+/// The mode frontier persists across solves on purpose: the cheapest
+/// feasible mode of a cell is monotone in the threshold, so consecutive
+/// sweep candidates move each frontier by a step or two at most. The cached
+/// position is only ever a *walk starting point* — each solve walks it to
+/// the exact partition point for the current threshold — so reuse across
+/// unrelated tables is merely slower, never wrong.
+#[derive(Debug, Default, Clone)]
+pub struct DpScratch {
+    n: usize,
+    kcap: usize,
+    qmax: usize,
+    /// `exact[k * (n+1) + i]` (row-major over `k`).
+    exact: Vec<f64>,
+    /// Split point realizing `exact` (`NONE_U32` = none).
+    parent: Vec<u32>,
+    /// Mode of the last interval (energy DP only).
+    mode_of: Vec<u32>,
+    /// `jw[i]` = first split `j` whose last interval `[j, i-1]` passes the
+    /// top-mode compute lower bound (splits below are infeasible).
+    jw: Vec<u32>,
+    /// Cached cheapest-mode partition point per `(lo, hi)` cell.
+    frontier: Vec<u32>,
+    /// Cheapest single-interval energy per `(lo, hi)` cell at the current
+    /// threshold (refreshed for window cells only).
+    cost1: Vec<f64>,
+    /// Mode realizing `cost1`.
+    mode1: Vec<u32>,
+    /// `best[q-1]` of the last period/latency solve.
+    best: Vec<f64>,
+    /// `exact_k[k-1]` of the last energy solve.
+    exact_k: Vec<f64>,
+    /// Overall best of the last energy solve.
+    best_val: f64,
+    /// Rolling rows for the best-only probes.
+    roll_a: Vec<f64>,
+    roll_b: Vec<f64>,
+    /// Per-mode feasibility boundaries `b[m·(n+1) + i]` = first split `j`
+    /// whose last interval `[j, i-1]` fits mode `m`'s compute term.
+    mode_bound: Vec<u32>,
+    /// Monotone deques of the run-decomposed energy core, one per mode, as
+    /// flat forward-only arenas (`m·n .. (m+1)·n`): each split enters a
+    /// deque at most once per row, so head/tail only ever advance.
+    run_key: Vec<f64>,
+    run_idx: Vec<u32>,
+    run_head: Vec<u32>,
+    run_tail: Vec<u32>,
+    /// Per-mode entrant pointers of the run deques.
+    run_entrant: Vec<u32>,
+}
+
+impl DpScratch {
+    /// Fresh scratch; buffers grow lazily to the largest instance solved.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Size (and re-initialize) the arenas for an `n`-stage solve with
+    /// `kcap` exact rows; the frontier cache survives as long as `n` does.
+    fn ensure(&mut self, n: usize, kcap: usize, qmax: usize, with_modes: bool) {
+        if self.n != n {
+            self.n = n;
+            // Invalidate the per-cell arrays; they are (re)sized lazily by
+            // the cores that actually use them (`ensure_cells`), so the
+            // run-decomposed path never pays for the O(n²) arenas.
+            self.frontier.clear();
+            self.cost1.clear();
+            self.mode1.clear();
+        }
+        self.kcap = kcap;
+        self.qmax = qmax;
+        let cells = (kcap + 1) * (n + 1);
+        self.exact.clear();
+        self.exact.resize(cells, f64::INFINITY);
+        self.parent.clear();
+        self.parent.resize(cells, NONE_U32);
+        if with_modes {
+            self.mode_of.clear();
+            self.mode_of.resize(cells, NONE_U32);
+        }
+        self.best.clear();
+        self.best.resize(qmax, f64::INFINITY);
+        self.jw.clear();
+        self.jw.resize(n + 1, 0);
+    }
+
+    /// Two-pointer fill of the work window: `jw[i]` = first `j < i` with
+    /// `top_compute(j, i-1) ≤ t_bound` (or `i` when even the single stage
+    /// fails). Since the compute term is non-increasing in `j` and
+    /// non-decreasing in `i`, the frontier is non-decreasing in `i` and the
+    /// whole fill is `O(n)`. Every skipped split is infeasible under both
+    /// communication models (the cycle-time dominates its compute term
+    /// bitwise), so clipping the DP scans to the window is exact.
+    fn fill_window(&mut self, table: &IntervalCostTable, t_bound: f64) {
+        let n = self.n;
+        let mut j = 0usize;
+        for i in 1..=n {
+            while j < i && !num::le(table.top_compute(j, i - 1), t_bound) {
+                j += 1;
+            }
+            self.jw[i] = j as u32;
+        }
+    }
+
+    /// Fill the per-mode feasibility boundaries, column-major
+    /// (`mode_bound[i·modes + m]`): first `j < i` with
+    /// `compute_at(j, i-1, m) ≤ t_bound` (or `i` when none). One
+    /// two-pointer per mode — `O(n·modes)` — since each compute term is
+    /// non-increasing in `j` and non-decreasing in `i`.
+    fn fill_mode_bounds(&mut self, table: &IntervalCostTable, t_bound: f64) {
+        let n = self.n;
+        let modes = table.modes();
+        self.mode_bound.clear();
+        self.mode_bound.resize((n + 1) * modes, 0);
+        for m in 0..modes {
+            let mut j = 0usize;
+            for i in 1..=n {
+                while j < i && !num::le(table.compute_at(j, i - 1, m), t_bound) {
+                    j += 1;
+                }
+                self.mode_bound[i * modes + m] = j as u32;
+            }
+        }
+    }
+
+    /// Refresh `cost1`/`mode1` for every window cell by walking the cached
+    /// mode frontier to the exact partition point for `t_bound` (identical
+    /// to [`IntervalCostTable::cheapest_feasible_mode`]). Cells outside the
+    /// window are left stale — the DP never reads them.
+    fn refresh_cost1(&mut self, table: &IntervalCostTable, t_bound: f64) {
+        let n = self.n;
+        let modes = table.modes();
+        if self.frontier.len() != n * n {
+            self.frontier.clear();
+            self.frontier.resize(n * n, 0);
+            self.cost1.clear();
+            self.cost1.resize(n * n, f64::INFINITY);
+            self.mode1.clear();
+            self.mode1.resize(n * n, NONE_U32);
+        }
+        for i in 1..=n {
+            let hi = i - 1;
+            for j in (self.jw[i] as usize)..i {
+                let cell = j * n + hi;
+                let row = table.cycle_row(j, hi);
+                let mut m = (self.frontier[cell] as usize).min(modes);
+                while m < modes && !num::le(row[m], t_bound) {
+                    m += 1;
+                }
+                while m > 0 && num::le(row[m - 1], t_bound) {
+                    m -= 1;
+                }
+                self.frontier[cell] = m as u32;
+                if m < modes {
+                    self.cost1[cell] = table.mode_energy[m];
+                    self.mode1[cell] = m as u32;
+                } else {
+                    self.cost1[cell] = f64::INFINITY;
+                    self.mode1[cell] = NONE_U32;
+                }
+            }
+        }
+    }
+
+    /// `best[q-1]` values of the last period or latency solve.
+    #[inline]
+    pub fn best_row(&self) -> &[f64] {
+        &self.best
+    }
+
+    /// `exact_k` values of the last energy solve.
+    #[inline]
+    pub fn energy_exact_k(&self) -> &[f64] {
+        &self.exact_k
+    }
+
+    /// Overall best of the last energy solve.
+    #[inline]
+    pub fn energy_best(&self) -> f64 {
+        self.best_val
+    }
+
+    /// Walk the parent chain for `k` intervals ending at stage `n`.
+    fn walk_parents(&self, k: usize, with_modes: bool) -> Option<Partition> {
+        let stride = self.n + 1;
+        let mut intervals = Vec::with_capacity(k);
+        let mut modes = Vec::with_capacity(if with_modes { k } else { 0 });
+        let mut i = self.n;
+        let mut kk = k;
+        while kk > 0 {
+            let p = self.parent[kk * stride + i];
+            if p == NONE_U32 || p as usize >= i {
+                return None;
+            }
+            intervals.push((p as usize, i - 1));
+            if with_modes {
+                modes.push(self.mode_of[kk * stride + i] as usize);
+            }
+            i = p as usize;
+            kk -= 1;
+        }
+        if i != 0 {
+            return None;
+        }
+        intervals.reverse();
+        modes.reverse();
+        Some(Partition { intervals, modes })
+    }
+
+    /// Reconstruct a partition achieving `best_row()[q-1]` of the last
+    /// *period* solve (all intervals at `top_mode`).
+    pub fn period_partition(&self, q: usize, top_mode: usize) -> Result<Partition, ModelError> {
+        let stride = self.n + 1;
+        let target = self.best[q - 1];
+        if !target.is_finite() {
+            return Err(ModelError::NonFiniteData { what: "period DP best value" });
+        }
+        let k = (1..=q.min(self.kcap))
+            .find(|&k| num::le(self.exact[k * stride + self.n], target))
+            .ok_or(ModelError::NonFiniteData { what: "period DP table" })?;
+        let mut part = self
+            .walk_parents(k, false)
+            .ok_or(ModelError::NonFiniteData { what: "period DP parents" })?;
+        part.modes = vec![top_mode; part.intervals.len()];
+        Ok(part)
+    }
+
+    /// Reconstruct a partition achieving `best_row()[q-1]` of the last
+    /// *latency* solve; `None` when infeasible.
+    pub fn latency_partition(&self, q: usize, top_mode: usize) -> Option<Partition> {
+        let stride = self.n + 1;
+        let target = self.best[q - 1];
+        if !target.is_finite() {
+            return None;
+        }
+        let k = (1..=q.min(self.kcap))
+            .find(|&k| num::le(self.exact[k * stride + self.n], target))?;
+        let mut part = self.walk_parents(k, false)?;
+        part.modes = vec![top_mode; part.intervals.len()];
+        Some(part)
+    }
+
+    /// Reconstruct the partition achieving `energy_exact_k()[k-1]` of the
+    /// last *energy* solve; `None` when infeasible.
+    pub fn energy_partition_exact(&self, k: usize) -> Option<Partition> {
+        if k == 0 || k > self.exact_k.len() || !self.exact_k[k - 1].is_finite() {
+            return None;
+        }
+        self.walk_parents(k, true)
+    }
+
+    /// Reconstruct the overall best partition of the last energy solve.
+    pub fn energy_partition_best(&self) -> Option<Partition> {
+        let k = (1..=self.exact_k.len())
+            .filter(|&k| self.exact_k[k - 1].is_finite())
+            .min_by(|&a, &b| {
+                self.exact_k[a - 1].partial_cmp(&self.exact_k[b - 1]).expect("finite")
+            })?;
+        self.energy_partition_exact(k)
+    }
+
+    fn export_period(&self) -> PeriodTable {
+        let stride = self.n + 1;
+        let used = (self.kcap + 1) * stride;
+        PeriodTable {
+            best: self.best.clone(),
+            n: self.n,
+            stride,
+            exact: self.exact[..used].to_vec(),
+            parent: self.parent[..used].to_vec(),
+        }
+    }
+
+    fn export_latency(&self) -> LatencyTable {
+        let stride = self.n + 1;
+        let used = (self.kcap + 1) * stride;
+        LatencyTable {
+            best: self.best.clone(),
+            n: self.n,
+            stride,
+            exact: self.exact[..used].to_vec(),
+            parent: self.parent[..used].to_vec(),
+        }
+    }
+
+    fn export_energy(&self) -> EnergyTable {
+        let stride = self.n + 1;
+        let used = (self.kcap + 1) * stride;
+        EnergyTable {
+            exact_k: self.exact_k.clone(),
+            best: self.best_val,
+            n: self.n,
+            stride,
+            parent: self.parent[..used].to_vec(),
+            mode_of: self.mode_of[..used].to_vec(),
+        }
+    }
+}
+
+/// Per-thread workspace of a multi-application solve: one [`DpScratch`] per
+/// application plus flat buffers for the Theorem 21 convolution. This is
+/// (part of) the `CandidateSolver::State` of the interval Pareto solvers.
+#[derive(Debug, Default)]
+pub struct DpWorkspace {
+    pub(crate) per_app: Vec<DpScratch>,
+    pub(crate) conv_e: Vec<f64>,
+    pub(crate) conv_choice: Vec<u32>,
+}
+
+impl DpWorkspace {
+    /// Fresh workspace; buffers grow lazily.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Scratch of application `a` (growing the pool as needed).
+    pub(crate) fn app_scratch(&mut self, a: usize) -> &mut DpScratch {
+        if self.per_app.len() <= a {
+            self.per_app.resize_with(a + 1, DpScratch::new);
+        }
+        &mut self.per_app[a]
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Period minimization (Theorem 3 subroutine)
 // ---------------------------------------------------------------------------
 
@@ -257,72 +711,167 @@ pub struct PeriodTable {
     /// `best[q-1]` = minimum period with at most `q` intervals.
     pub best: Vec<f64>,
     n: usize,
-    /// `exact[k][i]` = min period, exactly `k` intervals over first `i` stages.
-    exact: Vec<Vec<f64>>,
-    /// `parent[k][i]` = split point `j` (stages `j..i` form the last interval).
-    parent: Vec<Vec<usize>>,
+    stride: usize,
+    /// `exact[k·stride + i]` = min period, exactly `k` intervals over first
+    /// `i` stages.
+    exact: Vec<f64>,
+    /// Split point `j` (stages `j..i` form the last interval).
+    parent: Vec<u32>,
+}
+
+/// Run the period DP into `scratch`: `scratch.best_row()[q-1]` = minimum
+/// period of the table's application with at most `q` intervals at the top
+/// speed. The inner scan walks splits descending and stops once the
+/// compute-term lower bound alone exceeds the incumbent — exact, since the
+/// bound is monotone in the split (see [`IntervalCostTable::top_compute`]).
+pub fn period_dp(table: &IntervalCostTable, qmax: usize, scratch: &mut DpScratch) {
+    let n = table.n();
+    let kcap = qmax.min(n).max(1);
+    scratch.ensure(n, kcap, qmax, false);
+    let stride = n + 1;
+    for i in 1..=n {
+        scratch.exact[stride + i] = table.top_cycle(0, i - 1);
+        scratch.parent[stride + i] = 0;
+    }
+    for k in 2..=kcap {
+        let (lo_rows, hi_rows) = scratch.exact.split_at_mut(k * stride);
+        let prev = &lo_rows[(k - 1) * stride..];
+        let cur = &mut hi_rows[..stride];
+        let parent_row = &mut scratch.parent[k * stride..(k + 1) * stride];
+        for i in k..=n {
+            let hi = i - 1;
+            let mut best = f64::INFINITY;
+            let mut arg = NONE_U32;
+            // Descending scan with `≤` keeps the smallest split attaining
+            // the minimum — the same selection as the ascending strict scan
+            // of the reference core — while allowing the monotone early
+            // stop: once the compute bound exceeds the incumbent it does so
+            // for every smaller split too.
+            for j in ((k - 1)..i).rev() {
+                if table.top_compute(j, hi) > best {
+                    break;
+                }
+                let cand = num::fmax(prev[j], table.top_cycle(j, hi));
+                if cand <= best {
+                    best = cand;
+                    arg = j as u32;
+                }
+            }
+            cur[i] = best;
+            parent_row[i] = arg;
+        }
+    }
+    let mut acc = f64::INFINITY;
+    for q in 1..=qmax {
+        let k = q.min(kcap);
+        acc = num::fmin(acc, scratch.exact[k * stride + n]);
+        scratch.best[q - 1] = acc;
+    }
 }
 
 /// Minimum period of `app` with at most `q ∈ {1..qmax}` intervals, running
-/// every interval at the top speed (performance-only setting). `O(n²·qmax)`.
+/// every interval at the top speed (performance-only setting).
 pub fn period_table(ctx: &HomCtx<'_>, qmax: usize) -> PeriodTable {
-    let n = ctx.app.n();
-    let s = ctx.max_speed();
+    period_table_with(&IntervalCostTable::build(ctx), qmax, &mut DpScratch::new())
+}
+
+/// [`period_table`] on a prebuilt [`IntervalCostTable`] and reusable
+/// [`DpScratch`].
+pub fn period_table_with(
+    table: &IntervalCostTable,
+    qmax: usize,
+    scratch: &mut DpScratch,
+) -> PeriodTable {
+    period_dp(table, qmax, scratch);
+    scratch.export_period()
+}
+
+/// Lean [`period_table`] variant computing only the `best` row (no
+/// `exact`/`parent` matrices, two rolling rows): the form feasibility
+/// probes should use when no partition needs reconstructing. Values are
+/// bitwise-identical to `period_table(ctx, qmax).best`.
+pub fn period_best_only(ctx: &HomCtx<'_>, qmax: usize) -> Vec<f64> {
+    period_best_only_with(&IntervalCostTable::build(ctx), qmax, &mut DpScratch::new())
+}
+
+/// [`period_best_only`] on a prebuilt table and reusable scratch.
+pub fn period_best_only_with(
+    table: &IntervalCostTable,
+    qmax: usize,
+    scratch: &mut DpScratch,
+) -> Vec<f64> {
+    let n = table.n();
     let kcap = qmax.min(n).max(1);
-    let inf = f64::INFINITY;
-    let mut exact = vec![vec![inf; n + 1]; kcap + 1];
-    let mut parent = vec![vec![usize::MAX; n + 1]; kcap + 1];
+    scratch.n = n;
+    let (prev, cur) = (&mut scratch.roll_a, &mut scratch.roll_b);
+    prev.clear();
+    prev.resize(n + 1, f64::INFINITY);
+    cur.clear();
+    cur.resize(n + 1, f64::INFINITY);
     for i in 1..=n {
-        exact[1][i] = ctx.cycle(0, i - 1, s);
-        parent[1][i] = 0;
+        prev[i] = table.top_cycle(0, i - 1);
     }
+    let mut per_k = Vec::with_capacity(kcap);
+    per_k.push(prev[n]);
     for k in 2..=kcap {
+        for i in 0..=n {
+            cur[i] = f64::INFINITY;
+        }
         for i in k..=n {
-            let mut best = inf;
-            let mut arg = usize::MAX;
-            for j in (k - 1)..i {
-                let cand = num::fmax(exact[k - 1][j], ctx.cycle(j, i - 1, s));
-                if cand < best {
+            let hi = i - 1;
+            let mut best = f64::INFINITY;
+            for j in ((k - 1)..i).rev() {
+                if table.top_compute(j, hi) > best {
+                    break;
+                }
+                let cand = num::fmax(prev[j], table.top_cycle(j, hi));
+                if cand <= best {
                     best = cand;
-                    arg = j;
                 }
             }
-            exact[k][i] = best;
-            parent[k][i] = arg;
+            cur[i] = best;
         }
+        per_k.push(cur[n]);
+        std::mem::swap(prev, cur);
     }
-    let mut best = Vec::with_capacity(qmax);
-    let mut acc = inf;
+    let mut out = Vec::with_capacity(qmax);
+    let mut acc = f64::INFINITY;
     for q in 1..=qmax {
-        let k = q.min(kcap);
-        acc = num::fmin(acc, exact[k][n]);
-        best.push(acc);
+        acc = num::fmin(acc, per_k[q.min(kcap) - 1]);
+        out.push(acc);
     }
-    PeriodTable { best, n, exact, parent }
+    out
 }
 
 impl PeriodTable {
     /// Reconstruct a partition achieving `best[q-1]` (at most `q` intervals,
-    /// all at the top mode).
-    pub fn partition(&self, q: usize, top_mode: usize) -> Partition {
-        let kcap = self.exact.len() - 1;
-        // Smallest k whose exact value attains best[q-1].
+    /// all at the top mode). Returns a structured error instead of
+    /// panicking when the table was contaminated by non-finite inputs (NaN
+    /// stage data, NaN speeds) and no exact row attains the target.
+    pub fn partition(&self, q: usize, top_mode: usize) -> Result<Partition, ModelError> {
+        let kcap = self.exact.len() / self.stride - 1;
         let target = self.best[q - 1];
+        if !target.is_finite() {
+            return Err(ModelError::NonFiniteData { what: "period table best value" });
+        }
         let k = (1..=q.min(kcap))
-            .find(|&k| num::le(self.exact[k][self.n], target))
-            .expect("period table is consistent");
+            .find(|&k| num::le(self.exact[k * self.stride + self.n], target))
+            .ok_or(ModelError::NonFiniteData { what: "period table" })?;
         let mut intervals = Vec::with_capacity(k);
         let mut i = self.n;
         let mut kk = k;
         while kk > 0 {
-            let j = self.parent[kk][i];
-            intervals.push((j, i - 1));
-            i = j;
+            let j = self.parent[kk * self.stride + i];
+            if j == NONE_U32 || j as usize >= i {
+                return Err(ModelError::NonFiniteData { what: "period table parents" });
+            }
+            intervals.push((j as usize, i - 1));
+            i = j as usize;
             kk -= 1;
         }
         intervals.reverse();
         let modes = vec![top_mode; intervals.len()];
-        Partition { intervals, modes }
+        Ok(Partition { intervals, modes })
     }
 }
 
@@ -337,86 +886,139 @@ pub struct LatencyTable {
     /// cycle-times all respect the period bound; `+∞` when infeasible.
     pub best: Vec<f64>,
     n: usize,
-    exact: Vec<Vec<f64>>,
-    parent: Vec<Vec<usize>>,
+    stride: usize,
+    exact: Vec<f64>,
+    parent: Vec<u32>,
+}
+
+/// Run the latency-under-period DP into `scratch` (Theorem 15 recurrence,
+/// top speed, splits clipped to the exact work window).
+pub fn latency_dp(table: &IntervalCostTable, t_bound: f64, qmax: usize, scratch: &mut DpScratch) {
+    let n = table.n();
+    let kcap = qmax.min(n).max(1);
+    scratch.ensure(n, kcap, qmax, false);
+    scratch.fill_window(table, t_bound);
+    let stride = n + 1;
+    for i in 1..=n {
+        if scratch.jw[i] == 0 && num::le(table.top_cycle(0, i - 1), t_bound) {
+            scratch.exact[stride + i] = table.input_edge() + table.latency_term_top(0, i - 1);
+            scratch.parent[stride + i] = 0;
+        }
+    }
+    for k in 2..=kcap {
+        let (lo_rows, hi_rows) = scratch.exact.split_at_mut(k * stride);
+        let prev = &lo_rows[(k - 1) * stride..];
+        let cur = &mut hi_rows[..stride];
+        let parent_row = &mut scratch.parent[k * stride..(k + 1) * stride];
+        for i in k..=n {
+            let hi = i - 1;
+            let jlo = (scratch.jw[i] as usize).max(k - 1);
+            let mut best = f64::INFINITY;
+            let mut arg = NONE_U32;
+            for j in jlo..i {
+                if prev[j].is_finite() && num::le(table.top_cycle(j, hi), t_bound) {
+                    let cand = prev[j] + table.latency_term_top(j, hi);
+                    if cand < best {
+                        best = cand;
+                        arg = j as u32;
+                    }
+                }
+            }
+            cur[i] = best;
+            parent_row[i] = arg;
+        }
+    }
+    let mut acc = f64::INFINITY;
+    for q in 1..=qmax {
+        let k = q.min(kcap);
+        acc = num::fmin(acc, scratch.exact[k * stride + n]);
+        scratch.best[q - 1] = acc;
+    }
 }
 
 /// Minimum latency of `app` with at most `q ∈ {1..qmax}` intervals subject
 /// to every interval's cycle-time ≤ `t_bound` (the paper's `(L, T)(i, q)`
-/// recurrence, Theorem 15). Runs at the top speed. `O(n²·qmax)`.
+/// recurrence, Theorem 15). Runs at the top speed.
 pub fn latency_under_period(ctx: &HomCtx<'_>, t_bound: f64, qmax: usize) -> LatencyTable {
-    let s = ctx.max_speed();
-    latency_dp_core(
-        ctx.app.n(),
-        ctx.app.input_of(0) / ctx.bandwidth,
+    latency_under_period_scratch(
+        &IntervalCostTable::build(ctx),
         t_bound,
         qmax,
-        &|lo, hi| ctx.cycle(lo, hi, s),
-        &|lo, hi| ctx.latency_term(lo, hi, s),
+        &mut DpScratch::new(),
     )
 }
 
 /// [`latency_under_period`] on a prebuilt [`IntervalCostTable`]: identical
-/// results, but the `O(n²)` cycle-times and latency terms are lookups —
-/// the form every per-candidate solve of a Pareto sweep uses.
+/// results, but all `O(n²)` cycle-times and latency terms are lookups.
 pub fn latency_under_period_with(
     table: &IntervalCostTable,
     t_bound: f64,
     qmax: usize,
 ) -> LatencyTable {
-    latency_dp_core(
-        table.n(),
-        table.input_edge(),
-        t_bound,
-        qmax,
-        &|lo, hi| table.top_cycle(lo, hi),
-        &|lo, hi| table.latency_term_top(lo, hi),
-    )
+    latency_under_period_scratch(table, t_bound, qmax, &mut DpScratch::new())
 }
 
-fn latency_dp_core(
-    n: usize,
-    input_edge: f64,
+/// [`latency_under_period_with`] on a reusable [`DpScratch`] — the
+/// zero-allocation form of a Pareto sweep's per-candidate solves.
+pub fn latency_under_period_scratch(
+    table: &IntervalCostTable,
     t_bound: f64,
     qmax: usize,
-    cycle_top: &impl Fn(usize, usize) -> f64,
-    latency_top: &impl Fn(usize, usize) -> f64,
+    scratch: &mut DpScratch,
 ) -> LatencyTable {
+    latency_dp(table, t_bound, qmax, scratch);
+    scratch.export_latency()
+}
+
+/// Best-only feasibility probe: `latency_under_period_with(table, t_bound,
+/// qmax).best[qmax-1]` without materializing the `exact`/`parent` matrices
+/// (two rolling rows). Bitwise-identical values; the form every binary
+/// search probe uses.
+pub fn latency_best_under_period_with(
+    table: &IntervalCostTable,
+    t_bound: f64,
+    qmax: usize,
+    scratch: &mut DpScratch,
+) -> f64 {
+    let n = table.n();
     let kcap = qmax.min(n).max(1);
-    let inf = f64::INFINITY;
-    let mut exact = vec![vec![inf; n + 1]; kcap + 1];
-    let mut parent = vec![vec![usize::MAX; n + 1]; kcap + 1];
+    scratch.n = n;
+    scratch.jw.clear();
+    scratch.jw.resize(n + 1, 0);
+    scratch.fill_window(table, t_bound);
+    let (prev, cur) = (&mut scratch.roll_a, &mut scratch.roll_b);
+    prev.clear();
+    prev.resize(n + 1, f64::INFINITY);
+    cur.clear();
+    cur.resize(n + 1, f64::INFINITY);
     for i in 1..=n {
-        if num::le(cycle_top(0, i - 1), t_bound) {
-            exact[1][i] = input_edge + latency_top(0, i - 1);
-            parent[1][i] = 0;
+        if scratch.jw[i] == 0 && num::le(table.top_cycle(0, i - 1), t_bound) {
+            prev[i] = table.input_edge() + table.latency_term_top(0, i - 1);
         }
     }
+    let mut acc = prev[n];
     for k in 2..=kcap {
+        for i in 0..=n {
+            cur[i] = f64::INFINITY;
+        }
         for i in k..=n {
-            let mut best = inf;
-            let mut arg = usize::MAX;
-            for j in (k - 1)..i {
-                if exact[k - 1][j].is_finite() && num::le(cycle_top(j, i - 1), t_bound) {
-                    let cand = exact[k - 1][j] + latency_top(j, i - 1);
+            let hi = i - 1;
+            let jlo = (scratch.jw[i] as usize).max(k - 1);
+            let mut best = f64::INFINITY;
+            for j in jlo..i {
+                if prev[j].is_finite() && num::le(table.top_cycle(j, hi), t_bound) {
+                    let cand = prev[j] + table.latency_term_top(j, hi);
                     if cand < best {
                         best = cand;
-                        arg = j;
                     }
                 }
             }
-            exact[k][i] = best;
-            parent[k][i] = arg;
+            cur[i] = best;
         }
+        acc = num::fmin(acc, cur[n]);
+        std::mem::swap(prev, cur);
     }
-    let mut best = Vec::with_capacity(qmax);
-    let mut acc = inf;
-    for q in 1..=qmax {
-        let k = q.min(kcap);
-        acc = num::fmin(acc, exact[k][n]);
-        best.push(acc);
-    }
-    LatencyTable { best, n, exact, parent }
+    acc
 }
 
 impl LatencyTable {
@@ -426,15 +1028,15 @@ impl LatencyTable {
         if !target.is_finite() {
             return None;
         }
-        let kcap = self.exact.len() - 1;
+        let kcap = self.exact.len() / self.stride - 1;
         let k = (1..=q.min(kcap))
-            .find(|&k| num::le(self.exact[k][self.n], target))
+            .find(|&k| num::le(self.exact[k * self.stride + self.n], target))
             .expect("latency table is consistent");
         let mut intervals = Vec::with_capacity(k);
         let mut i = self.n;
         let mut kk = k;
         while kk > 0 {
-            let j = self.parent[kk][i];
+            let j = self.parent[kk * self.stride + i] as usize;
             intervals.push((j, i - 1));
             i = j;
             kk -= 1;
@@ -467,29 +1069,50 @@ pub fn min_period_under_latency_with(
     l_bound: f64,
     q: usize,
 ) -> Option<(f64, Partition)> {
-    // Feasible(T) := best latency under period T ≤ l_bound. Monotone in T.
-    let feasible = |t: f64| -> bool {
-        let l = latency_under_period_with(table, t, q).best[q - 1];
-        l.is_finite() && num::le(l, l_bound)
-    };
+    min_period_under_latency_scratch(table, candidates, l_bound, q, &mut DpScratch::new())
+}
+
+/// Value-only form of [`min_period_under_latency_scratch`]: the minimum
+/// feasible period (no partition, no parent matrices at all) — the form
+/// Algorithm 2's allocation probes use.
+pub fn min_period_under_latency_probe(
+    table: &IntervalCostTable,
+    candidates: &[f64],
+    l_bound: f64,
+    q: usize,
+    scratch: &mut DpScratch,
+) -> Option<f64> {
     let mut lo = 0usize;
     let mut hi = candidates.len();
-    // Invariant: all indices < lo infeasible; find first feasible.
     while lo < hi {
         let mid = (lo + hi) / 2;
-        if feasible(candidates[mid]) {
+        let l = latency_best_under_period_with(table, candidates[mid], q, scratch);
+        if l.is_finite() && num::le(l, l_bound) {
             hi = mid;
         } else {
             lo = mid + 1;
         }
     }
-    if lo == candidates.len() {
-        return None;
-    }
-    let t = candidates[lo];
-    let dp = latency_under_period_with(table, t, q);
+    (lo < candidates.len()).then(|| candidates[lo])
+}
+
+/// [`min_period_under_latency_with`] on a reusable [`DpScratch`]: the
+/// binary-search probes run the lean best-only recurrence
+/// ([`latency_best_under_period_with`]) and only the final threshold pays
+/// for a full table with parents.
+pub fn min_period_under_latency_scratch(
+    table: &IntervalCostTable,
+    candidates: &[f64],
+    l_bound: f64,
+    q: usize,
+    scratch: &mut DpScratch,
+) -> Option<(f64, Partition)> {
+    // Feasible(T) := best latency under period T ≤ l_bound; monotone in T,
+    // so binary-search the first feasible candidate.
+    let t = min_period_under_latency_probe(table, candidates, l_bound, q, scratch)?;
+    latency_dp(table, t, q, scratch);
     let top = table.modes() - 1;
-    let partition = dp.partition(q, top)?;
+    let partition = scratch.latency_partition(q, top)?;
     Some((t, partition))
 }
 
@@ -507,83 +1130,242 @@ pub struct EnergyTable {
     /// Minimum over all `k ≤ qmax`.
     pub best: f64,
     n: usize,
-    parent: Vec<Vec<usize>>,
-    mode_of: Vec<Vec<usize>>,
+    stride: usize,
+    parent: Vec<u32>,
+    mode_of: Vec<u32>,
+}
+
+/// Run the energy-under-period DP into `scratch` (Theorem 18 recurrence;
+/// each interval independently selects its cheapest feasible mode).
+///
+/// Under the overlap model the cycle-time is an exact three-way max, so for
+/// a fixed prefix length the feasible splits partition into ≤ `modes`
+/// contiguous *runs* of constant interval cost whose boundaries move
+/// monotonically — the run-decomposed core scans them with one monotone
+/// deque per mode in `O(n·q·modes)` instead of `O(n²·q)`, keyed on the
+/// exact `exact[k-1][j] + cost1` float values the textbook scan compares
+/// (so even ULP-level ties select the same split). The additive no-overlap
+/// model has no such structure (the incoming edge breaks run contiguity);
+/// it uses the windowed quadratic scan with the incremental mode frontier.
+pub fn energy_dp(table: &IntervalCostTable, t_bound: f64, qmax: usize, scratch: &mut DpScratch) {
+    if table.is_overlap() {
+        energy_dp_runs(table, t_bound, qmax, scratch);
+    } else {
+        energy_dp_window(table, t_bound, qmax, scratch);
+    }
+}
+
+/// Run-decomposed energy core (overlap model only; see [`energy_dp`]).
+fn energy_dp_runs(table: &IntervalCostTable, t_bound: f64, qmax: usize, scratch: &mut DpScratch) {
+    let n = table.n();
+    let modes = table.modes();
+    let kcap = qmax.min(n).max(1);
+    scratch.ensure(n, kcap, qmax, true);
+    scratch.fill_mode_bounds(table, t_bound);
+    let stride = n + 1;
+    // k = 1: the single interval [0, i-1]; its cheapest mode is the first
+    // one whose boundary reaches 0 (boundaries descend over modes).
+    let row0_ok = n == 0 || num::le(table.in_edge[0], t_bound);
+    for i in 1..=n {
+        let mut e = f64::INFINITY;
+        let mut msel = NONE_U32;
+        if row0_ok && num::le(table.out_edge[i - 1], t_bound) {
+            for m in 0..modes {
+                if scratch.mode_bound[i * modes + m] == 0 {
+                    e = table.mode_energy[m];
+                    msel = m as u32;
+                    break;
+                }
+            }
+        }
+        scratch.exact[stride + i] = e;
+        scratch.parent[stride + i] = 0;
+        scratch.mode_of[stride + i] = msel;
+    }
+    scratch.run_key.clear();
+    scratch.run_key.resize(modes * n, 0.0);
+    scratch.run_idx.clear();
+    scratch.run_idx.resize(modes * n, 0);
+    scratch.run_head.clear();
+    scratch.run_head.resize(modes, 0);
+    scratch.run_tail.clear();
+    scratch.run_tail.resize(modes, 0);
+    scratch.run_entrant.clear();
+    scratch.run_entrant.resize(modes, 0);
+    let mode_bound = &scratch.mode_bound;
+    let run_key = &mut scratch.run_key;
+    let run_idx = &mut scratch.run_idx;
+    let run_head = &mut scratch.run_head;
+    let run_tail = &mut scratch.run_tail;
+    let run_entrant = &mut scratch.run_entrant;
+    let in_edge = &table.in_edge;
+    let out_edge = &table.out_edge;
+    let mode_energy = &table.mode_energy;
+    for k in 2..=kcap {
+        let (lo_rows, hi_rows) = scratch.exact.split_at_mut(k * stride);
+        let prev = &lo_rows[(k - 1) * stride..];
+        let cur = &mut hi_rows[..stride];
+        let parent_row = &mut scratch.parent[k * stride..(k + 1) * stride];
+        let mode_row = &mut scratch.mode_of[k * stride..(k + 1) * stride];
+        run_head.fill(0);
+        run_tail.fill(0);
+        run_entrant.fill((k - 1) as u32);
+        for i in k..=n {
+            let col = &mode_bound[i * modes..(i + 1) * modes];
+            // Stage 1: migrate entrants. A split enters run 0 when it first
+            // becomes a candidate (j = i-1) and degrades into run m when
+            // boundary b_{m-1} passes it (its interval grew too heavy for
+            // mode m-1). Each split enters each deque at most once per row,
+            // so the flat deques only ever advance. Stage 2: expire splits
+            // below the run's left boundary.
+            for m in 0..modes {
+                let right = if m == 0 { i } else { col[m - 1] as usize };
+                let e_m = run_entrant[m] as usize;
+                let base = m * n;
+                if e_m < right {
+                    let mut tail = run_tail[m] as usize;
+                    let head = run_head[m] as usize;
+                    let c_m = mode_energy[m];
+                    for j in e_m..right {
+                        if prev[j].is_finite() && num::le(in_edge[j], t_bound) {
+                            let key = prev[j] + c_m;
+                            while tail > head && run_key[base + tail - 1] > key {
+                                tail -= 1;
+                            }
+                            run_key[base + tail] = key;
+                            run_idx[base + tail] = j as u32;
+                            tail += 1;
+                        }
+                    }
+                    run_tail[m] = tail as u32;
+                    run_entrant[m] = right as u32;
+                }
+                let left = (col[m] as usize).max(k - 1);
+                let tail = run_tail[m] as usize;
+                let mut head = run_head[m] as usize;
+                while head < tail && (run_idx[base + head] as usize) < left {
+                    head += 1;
+                }
+                run_head[m] = head as u32;
+            }
+            // Stage 3: evaluate the column — run fronts in ascending-split
+            // order (descending mode), strict improvement, exactly the
+            // textbook scan's selection.
+            let mut best = f64::INFINITY;
+            let mut arg = NONE_U32;
+            let mut bm = NONE_U32;
+            if num::le(out_edge[i - 1], t_bound) {
+                for m in (0..modes).rev() {
+                    let head = run_head[m] as usize;
+                    if head < run_tail[m] as usize {
+                        let key = run_key[m * n + head];
+                        if key < best {
+                            best = key;
+                            arg = run_idx[m * n + head];
+                            bm = m as u32;
+                        }
+                    }
+                }
+            }
+            cur[i] = best;
+            parent_row[i] = arg;
+            mode_row[i] = bm;
+        }
+    }
+    scratch.exact_k.clear();
+    for k in 1..=kcap {
+        scratch.exact_k.push(scratch.exact[k * stride + n]);
+    }
+    scratch.best_val = scratch.exact_k.iter().copied().fold(f64::INFINITY, num::fmin);
+}
+
+/// Windowed quadratic energy core (both models; the no-overlap path).
+fn energy_dp_window(table: &IntervalCostTable, t_bound: f64, qmax: usize, scratch: &mut DpScratch) {
+    let n = table.n();
+    let kcap = qmax.min(n).max(1);
+    scratch.ensure(n, kcap, qmax, true);
+    scratch.fill_window(table, t_bound);
+    scratch.refresh_cost1(table, t_bound);
+    let stride = n + 1;
+    for i in 1..=n {
+        let (e, m) = if scratch.jw[i] == 0 {
+            (scratch.cost1[i - 1], scratch.mode1[i - 1])
+        } else {
+            (f64::INFINITY, NONE_U32)
+        };
+        scratch.exact[stride + i] = e;
+        scratch.parent[stride + i] = 0;
+        scratch.mode_of[stride + i] = m;
+    }
+    for k in 2..=kcap {
+        let (lo_rows, hi_rows) = scratch.exact.split_at_mut(k * stride);
+        let prev = &lo_rows[(k - 1) * stride..];
+        let cur = &mut hi_rows[..stride];
+        let parent_row = &mut scratch.parent[k * stride..(k + 1) * stride];
+        let mode_row = &mut scratch.mode_of[k * stride..(k + 1) * stride];
+        for i in k..=n {
+            let hi = i - 1;
+            let jlo = (scratch.jw[i] as usize).max(k - 1);
+            let mut best = f64::INFINITY;
+            let mut arg = NONE_U32;
+            let mut bm = NONE_U32;
+            for j in jlo..i {
+                let c1 = scratch.cost1[j * n + hi];
+                if prev[j].is_finite() && c1.is_finite() {
+                    let cand = prev[j] + c1;
+                    if cand < best {
+                        best = cand;
+                        arg = j as u32;
+                        bm = scratch.mode1[j * n + hi];
+                    }
+                }
+            }
+            cur[i] = best;
+            parent_row[i] = arg;
+            mode_row[i] = bm;
+        }
+    }
+    scratch.exact_k.clear();
+    for k in 1..=kcap {
+        scratch.exact_k.push(scratch.exact[k * stride + n]);
+    }
+    scratch.best_val = scratch.exact_k.iter().copied().fold(f64::INFINITY, num::fmin);
 }
 
 /// Minimum energy of `app` subject to every interval cycle-time ≤ `t_bound`
 /// (Theorem 18 DP). Each interval independently selects its cheapest
-/// feasible mode. `O(n²·(qmax + log modes))`.
+/// feasible mode.
 pub fn energy_under_period(ctx: &HomCtx<'_>, t_bound: f64, qmax: usize) -> EnergyTable {
-    energy_dp_core(ctx.app.n(), t_bound, qmax, &|lo, hi, tb| {
-        ctx.cheapest_feasible_mode(lo, hi, tb)
-    })
+    // The run-decomposed overlap core never reads the O(n²·modes) cycle
+    // matrix: skip building it for this one-shot.
+    let table = if matches!(ctx.model, CommModel::Overlap) {
+        IntervalCostTable::build_lean(ctx)
+    } else {
+        IntervalCostTable::build(ctx)
+    };
+    energy_under_period_scratch(&table, t_bound, qmax, &mut DpScratch::new())
 }
 
 /// [`energy_under_period`] on a prebuilt [`IntervalCostTable`]: identical
-/// results, with all cycle-times looked up instead of recomputed — the form
-/// the Pareto sweep uses for its per-candidate solves.
+/// results, with all cycle-times looked up instead of recomputed.
 pub fn energy_under_period_with(
     table: &IntervalCostTable,
     t_bound: f64,
     qmax: usize,
 ) -> EnergyTable {
-    energy_dp_core(table.n(), t_bound, qmax, &|lo, hi, tb| {
-        table.cheapest_feasible_mode(lo, hi, tb)
-    })
+    energy_under_period_scratch(table, t_bound, qmax, &mut DpScratch::new())
 }
 
-fn energy_dp_core(
-    n: usize,
+/// [`energy_under_period_with`] on a reusable [`DpScratch`] — the
+/// zero-allocation form of a Pareto sweep's per-candidate solves.
+pub fn energy_under_period_scratch(
+    table: &IntervalCostTable,
     t_bound: f64,
     qmax: usize,
-    cheapest: &impl Fn(usize, usize, f64) -> Option<(usize, f64)>,
+    scratch: &mut DpScratch,
 ) -> EnergyTable {
-    let kcap = qmax.min(n).max(1);
-    let inf = f64::INFINITY;
-    // cost1[j][i-1]: cheapest single-processor energy for stages j..=i-1,
-    // and the corresponding mode.
-    let mut cost1 = vec![vec![inf; n]; n];
-    let mut mode1 = vec![vec![usize::MAX; n]; n];
-    for lo in 0..n {
-        for hi in lo..n {
-            if let Some((m, e)) = cheapest(lo, hi, t_bound) {
-                cost1[lo][hi] = e;
-                mode1[lo][hi] = m;
-            }
-        }
-    }
-    let mut exact = vec![vec![inf; n + 1]; kcap + 1];
-    let mut parent = vec![vec![usize::MAX; n + 1]; kcap + 1];
-    let mut mode_of = vec![vec![usize::MAX; n + 1]; kcap + 1];
-    for i in 1..=n {
-        exact[1][i] = cost1[0][i - 1];
-        parent[1][i] = 0;
-        mode_of[1][i] = mode1[0][i - 1];
-    }
-    for k in 2..=kcap {
-        for i in k..=n {
-            let mut best = inf;
-            let mut arg = usize::MAX;
-            let mut bm = usize::MAX;
-            for j in (k - 1)..i {
-                if exact[k - 1][j].is_finite() && cost1[j][i - 1].is_finite() {
-                    let cand = exact[k - 1][j] + cost1[j][i - 1];
-                    if cand < best {
-                        best = cand;
-                        arg = j;
-                        bm = mode1[j][i - 1];
-                    }
-                }
-            }
-            exact[k][i] = best;
-            parent[k][i] = arg;
-            mode_of[k][i] = bm;
-        }
-    }
-    let exact_k: Vec<f64> = (1..=kcap).map(|k| exact[k][n]).collect();
-    let best = exact_k.iter().copied().fold(inf, num::fmin);
-    EnergyTable { exact_k, best, n, parent, mode_of }
+    energy_dp(table, t_bound, qmax, scratch);
+    scratch.export_energy()
 }
 
 impl EnergyTable {
@@ -597,9 +1379,9 @@ impl EnergyTable {
         let mut i = self.n;
         let mut kk = k;
         while kk > 0 {
-            let j = self.parent[kk][i];
+            let j = self.parent[kk * self.stride + i] as usize;
             intervals.push((j, i - 1));
-            modes.push(self.mode_of[kk][i]);
+            modes.push(self.mode_of[kk * self.stride + i] as usize);
             i = j;
             kk -= 1;
         }
@@ -637,7 +1419,7 @@ mod tests {
         let t = period_table(&ctx, 1);
         // One interval: max(0/1, 14/8, 1/1) = 1.75.
         assert!((t.best[0] - 1.75).abs() < 1e-12);
-        let part = t.partition(1, 0);
+        let part = t.partition(1, 0).unwrap();
         assert_eq!(part.intervals, vec![(0, 3)]);
     }
 
@@ -653,7 +1435,7 @@ mod tests {
         }
         // Two intervals split (0,1)/(2,3): max(8/8, 1) then max(1, 6/8, 1) = 1.
         assert!((t.best[1] - 1.0).abs() < 1e-12);
-        let part = t.partition(2, 0);
+        let part = t.partition(2, 0).unwrap();
         assert_eq!(part.intervals.len(), 2);
         assert_eq!(part.intervals[0].0, 0);
         assert_eq!(part.intervals.last().unwrap().1, 3);
@@ -669,6 +1451,64 @@ mod tests {
             let tov = period_table(&ov, q).best[q - 1];
             let tno = period_table(&no, q).best[q - 1];
             assert!(tov <= tno + 1e-12);
+        }
+    }
+
+    #[test]
+    fn period_best_only_matches_full_table() {
+        let a = app();
+        let speeds = [1.0, 8.0];
+        for model in CommModel::ALL {
+            let ctx = HomCtx::new(&a, &speeds, 2.0, model);
+            for q in 1..=5 {
+                let full = period_table(&ctx, q);
+                let lean = period_best_only(&ctx, q);
+                assert_eq!(full.best.len(), lean.len());
+                for (x, y) in full.best.iter().zip(&lean) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nan_contaminated_input_yields_structured_error() {
+        // Regression: NaN-contaminated inputs used to make `partition`
+        // panic ("period table is consistent"); they must now surface a
+        // structured ModelError (or a coherent partition where the max
+        // combine absorbs the NaN) — never a panic.
+        // NaN speeds under the additive no-overlap model contaminate every
+        // cycle-time: best[q-1] goes NaN/∞ and reconstruction must Err.
+        let a = app();
+        let bad_speeds = [f64::NAN];
+        let ctx = HomCtx::new(&a, &bad_speeds, 1.0, CommModel::NoOverlap);
+        let t = period_table(&ctx, 2);
+        let err = t.partition(2, 0).unwrap_err();
+        assert!(matches!(err, ModelError::NonFiniteData { .. }), "{err:?}");
+        let err = t.partition(1, 0).unwrap_err();
+        assert!(matches!(err, ModelError::NonFiniteData { .. }), "{err:?}");
+        // NaN stage data (a poisoned edge weight) under the additive
+        // no-overlap model: reconstruction must not panic whatever branch
+        // the contaminated comparisons took.
+        let mut a = app();
+        a.stages[1].output = f64::NAN;
+        let speeds = [8.0];
+        for model in CommModel::ALL {
+            let ctx = HomCtx::new(&a, &speeds, 1.0, model);
+            for q in 1..=4 {
+                let t = period_table(&ctx, q);
+                if let Ok(part) = t.partition(q, 0) {
+                    // Whatever survived must still be a chain cover.
+                    assert_eq!(part.intervals[0].0, 0);
+                    assert_eq!(part.intervals.last().unwrap().1, a.n() - 1);
+                }
+            }
+        }
+        // NaN bandwidth poisons every communication term.
+        let ctx = HomCtx::new(&a, &speeds, f64::NAN, CommModel::NoOverlap);
+        let t = period_table(&ctx, 3);
+        for q in 1..=3 {
+            let _ = t.partition(q, 0); // must not panic
         }
     }
 
@@ -806,6 +1646,11 @@ mod tests {
                     }
                     assert_eq!(table.top_cycle(lo, hi), ctx.cycle(lo, hi, 8.0));
                     assert_eq!(table.latency_term_top(lo, hi), ctx.latency_term(lo, hi, 8.0));
+                    assert_eq!(
+                        table.top_compute(lo, hi),
+                        a.interval_work(lo, hi) / 8.0,
+                        "compute lower bound [{lo},{hi}]"
+                    );
                     for tb in [0.1, 0.5, 1.0, 2.0, 7.0, 100.0] {
                         assert_eq!(
                             table.cheapest_feasible_mode(lo, hi, tb),
@@ -839,6 +1684,25 @@ mod tests {
     }
 
     #[test]
+    fn mode_frontier_walk_matches_binary_search_in_any_order() {
+        // One scratch reused across ascending, descending and zig-zag
+        // threshold orders must produce the same cost1 values as fresh
+        // partition-point searches (the incremental-table contract).
+        let a = app();
+        let speeds = [1.0, 2.0, 3.0, 6.0, 8.0];
+        let ctx = HomCtx::new(&a, &speeds, 1.0, CommModel::NoOverlap);
+        let table = IntervalCostTable::build(&ctx);
+        let mut scratch = DpScratch::new();
+        let order = [5.0, 0.5, 14.0, 1.0, 2.0, 2.0, 13.9, 0.1, 7.0];
+        for &tb in &order {
+            let fast = energy_under_period_scratch(&table, tb, 4, &mut scratch);
+            let fresh = energy_under_period_with(&table, tb, 4);
+            assert_eq!(fast.exact_k, fresh.exact_k, "threshold {tb}");
+            assert_eq!(fast.partition_best(), fresh.partition_best(), "threshold {tb}");
+        }
+    }
+
+    #[test]
     fn table_dp_variants_match_direct() {
         let a = app();
         let speeds = [1.0, 6.0, 8.0];
@@ -858,6 +1722,14 @@ mod tests {
                     let l_table = latency_under_period_with(&table, tb, q);
                     assert_eq!(l_direct.best, l_table.best);
                     assert_eq!(l_direct.partition(q, 2), l_table.partition(q, 2));
+                    // Best-only probe agrees bitwise with the full table.
+                    let probe = latency_best_under_period_with(
+                        &table,
+                        tb,
+                        q,
+                        &mut DpScratch::new(),
+                    );
+                    assert_eq!(probe.to_bits(), l_table.best[q - 1].to_bits());
                 }
             }
         }
@@ -870,7 +1742,7 @@ mod tests {
         let ctx = HomCtx::new(&a, &speeds, 1.0, CommModel::Overlap);
         for q in 1..=4 {
             let t = period_table(&ctx, q);
-            let part = t.partition(q, 1);
+            let part = t.partition(q, 1).unwrap();
             assert_eq!(part.intervals[0].0, 0);
             assert_eq!(part.intervals.last().unwrap().1, a.n() - 1);
             for w in part.intervals.windows(2) {

@@ -74,29 +74,35 @@ pub fn min_latency_interval_comm_hom(apps: &AppSet, platform: &Platform) -> Opti
     }
     let candidates = num::sorted_candidates(candidates);
 
-    // Greedy: processors from slowest to fastest pick any free feasible app.
-    let try_assign = |l: f64| -> Option<Vec<usize>> {
-        let mut app_of_proc = vec![usize::MAX; a_count];
-        let mut free = vec![true; a_count];
+    // Greedy: processors from slowest to fastest pick any free feasible
+    // app. The probe buffers are hoisted out of the binary search and
+    // reused across every probe (flat-arena idiom, no per-probe allocs).
+    let mut app_of_proc = vec![usize::MAX; a_count];
+    let mut free = vec![true; a_count];
+    let try_assign = |l: f64, app_of_proc: &mut [usize], free: &mut [bool]| -> bool {
+        app_of_proc.fill(usize::MAX);
+        free.fill(true);
         for (i, &u) in fastest.iter().enumerate() {
             let s = platform.procs[u].max_speed();
-            let pick = (0..a_count).find(|&a| {
+            let Some(pick) = (0..a_count).find(|&a| {
                 free[a]
                     && whole_chain_latency(apps, platform, a, s)
                         .map(|la| num::le(la, l))
                         .unwrap_or(false)
-            })?;
+            }) else {
+                return false;
+            };
             free[pick] = false;
             app_of_proc[i] = pick;
         }
-        Some(app_of_proc)
+        true
     };
 
     let mut lo = 0usize;
     let mut hi = candidates.len();
     while lo < hi {
         let mid = (lo + hi) / 2;
-        if try_assign(candidates[mid]).is_some() {
+        if try_assign(candidates[mid], &mut app_of_proc, &mut free) {
             hi = mid;
         } else {
             lo = mid + 1;
@@ -105,7 +111,11 @@ pub fn min_latency_interval_comm_hom(apps: &AppSet, platform: &Platform) -> Opti
     if lo == candidates.len() {
         return None;
     }
-    let assignment = try_assign(candidates[lo]).expect("probe succeeded");
+    assert!(
+        try_assign(candidates[lo], &mut app_of_proc, &mut free),
+        "probe succeeded"
+    );
+    let assignment = app_of_proc;
 
     let mut mapping = Mapping::new();
     for (i, &u) in fastest.iter().enumerate() {

@@ -9,7 +9,7 @@
 //! count.
 
 use crate::alloc::allocate_processors;
-use crate::dp::{period_table, HomCtx, PeriodTable};
+use crate::dp::{period_table_with, DpScratch, HomCtx, IntervalCostTable, PeriodTable};
 use crate::solution::Solution;
 use cpo_model::num;
 use cpo_model::prelude::*;
@@ -52,14 +52,15 @@ pub fn minimize_global_period(
     let b = super::app_bandwidth(platform, 0)?;
 
     // Per-application period tables, computed once up to the maximum number
-    // of processors any application could receive.
+    // of processors any application could receive, sharing one DP scratch.
     let qmax = p - a_count + 1;
+    let mut scratch = DpScratch::new();
     let tables: Vec<PeriodTable> = apps
         .apps
         .iter()
         .map(|app| {
             let ctx = HomCtx::new(app, &speeds, b, model);
-            period_table(&ctx, qmax)
+            period_table_with(&IntervalCostTable::build(&ctx), qmax, &mut scratch)
         })
         .collect();
     let weights: Vec<f64> = apps.apps.iter().map(|a| a.weight).collect();
@@ -67,8 +68,9 @@ pub fn minimize_global_period(
     let alloc = allocate_processors(a_count, p, &weights, |a, q| tables[a].best[q - 1])?;
 
     let top = speeds.len() - 1;
-    let partitions: Vec<_> =
-        (0..a_count).map(|a| tables[a].partition(alloc.procs[a], top)).collect();
+    let partitions: Vec<_> = (0..a_count)
+        .map(|a| tables[a].partition(alloc.procs[a], top).ok())
+        .collect::<Option<Vec<_>>>()?;
     let mapping = mapping_from_partitions(&partitions);
     debug_assert!(mapping.validate(apps, platform).is_ok());
     let achieved = Evaluator::new(apps, platform).period(&mapping, model);

@@ -11,13 +11,13 @@
 
 use crate::bi::interval_cost_tables;
 use crate::bi::period_energy::{
-    min_energy_interval_with_tables, min_energy_one_to_one_with_table, StageCostTable,
+    min_energy_interval_scratch, min_energy_one_to_one_with_table, StageCostTable,
 };
-use crate::bi::period_latency::min_latency_under_period_with_tables;
-use crate::dp::IntervalCostTable;
+use crate::bi::period_latency::min_latency_under_period_scratch;
+use crate::dp::{DpWorkspace, IntervalCostTable};
 use crate::solution::{MappingKind, Solution};
 use crate::sweep::{sweep_front, CandidateSolver, Scored, Sweep};
-use cpo_matching::HungarianWorkspace;
+use cpo_matching::{CostMatrix, HungarianWorkspace};
 use cpo_model::num;
 use cpo_model::prelude::*;
 
@@ -160,9 +160,11 @@ pub fn period_latency_front_with(
         .collect()
 }
 
-fn per_app_bounds(apps: &AppSet, t: f64) -> Vec<f64> {
-    // Per-application bound: global weighted period ≤ t means T_a ≤ t / W_a.
-    apps.apps.iter().map(|a| t / a.weight).collect()
+/// Fill the per-application bounds into a reusable buffer: global weighted
+/// period ≤ t means `T_a ≤ t / W_a`.
+fn fill_bounds(apps: &AppSet, t: f64, bounds: &mut Vec<f64>) {
+    bounds.clear();
+    bounds.extend(apps.apps.iter().map(|a| t / a.weight));
 }
 
 struct IntervalEnergySolver<'a> {
@@ -173,14 +175,17 @@ struct IntervalEnergySolver<'a> {
 }
 
 impl CandidateSolver for IntervalEnergySolver<'_> {
-    type State = ();
+    type State = (DpWorkspace, Vec<f64>);
 
-    fn make_state(&self) {}
+    fn make_state(&self) -> Self::State {
+        (DpWorkspace::new(), Vec::new())
+    }
 
-    fn solve(&self, _state: &mut (), t: f64) -> Option<Scored> {
-        let bounds = per_app_bounds(self.apps, t);
+    fn solve(&self, state: &mut Self::State, t: f64) -> Option<Scored> {
+        let (ws, bounds) = state;
+        fill_bounds(self.apps, t, bounds);
         let sol =
-            min_energy_interval_with_tables(self.apps, self.platform, &self.tables, &bounds)?;
+            min_energy_interval_scratch(self.apps, self.platform, &self.tables, bounds, ws)?;
         let achieved = Evaluator::new(self.apps, self.platform).period(&sol.mapping, self.model);
         Some(Scored { achieved, objective: sol.objective, solution: sol })
     }
@@ -194,17 +199,17 @@ struct MatchingEnergySolver<'a> {
 }
 
 impl CandidateSolver for MatchingEnergySolver<'_> {
-    type State = (HungarianWorkspace, Vec<Vec<f64>>);
+    type State = (HungarianWorkspace, CostMatrix, Vec<f64>);
 
     fn make_state(&self) -> Self::State {
-        (HungarianWorkspace::new(), Vec::new())
+        (HungarianWorkspace::new(), CostMatrix::new(), Vec::new())
     }
 
     fn solve(&self, state: &mut Self::State, t: f64) -> Option<Scored> {
-        let (workspace, matrix) = state;
-        let bounds = per_app_bounds(self.apps, t);
+        let (workspace, matrix, bounds) = state;
+        fill_bounds(self.apps, t, bounds);
         let sol = min_energy_one_to_one_with_table(
-            self.apps, self.platform, &self.table, &bounds, workspace, matrix,
+            self.apps, self.platform, &self.table, bounds, workspace, matrix,
         )?;
         let achieved = Evaluator::new(self.apps, self.platform).period(&sol.mapping, self.model);
         Some(Scored { achieved, objective: sol.objective, solution: sol })
@@ -219,15 +224,17 @@ struct IntervalLatencySolver<'a> {
 }
 
 impl CandidateSolver for IntervalLatencySolver<'_> {
-    type State = ();
+    type State = (DpWorkspace, Vec<f64>);
 
-    fn make_state(&self) {}
+    fn make_state(&self) -> Self::State {
+        (DpWorkspace::new(), Vec::new())
+    }
 
-    fn solve(&self, _state: &mut (), t: f64) -> Option<Scored> {
-        let bounds = per_app_bounds(self.apps, t);
-        let sol = min_latency_under_period_with_tables(
-            self.apps, self.platform, &self.tables, &bounds,
-        )?;
+    fn solve(&self, state: &mut Self::State, t: f64) -> Option<Scored> {
+        let (ws, bounds) = state;
+        fill_bounds(self.apps, t, bounds);
+        let sol =
+            min_latency_under_period_scratch(self.apps, self.platform, &self.tables, bounds, ws)?;
         let achieved = Evaluator::new(self.apps, self.platform).period(&sol.mapping, self.model);
         Some(Scored { achieved, objective: sol.objective, solution: sol })
     }

@@ -47,50 +47,80 @@ pub struct ReplicatedPeriodTable {
     /// `best[q-1]` = minimum period using at most `q` processors.
     pub best: Vec<f64>,
     n: usize,
-    /// `exact[k][i]` = min period, exactly `k` processors, first `i` stages.
-    exact: Vec<Vec<f64>>,
-    /// `(split point j, replication factor r)` realizing `exact[k][i]`.
-    parent: Vec<Vec<(usize, usize)>>,
+    stride: usize,
+    /// `exact[k·stride + i]` = min period, exactly `k` processors, first
+    /// `i` stages (flat arena).
+    exact: Vec<f64>,
+    /// Split point `j` realizing `exact` (`u32::MAX` = none).
+    parent_j: Vec<u32>,
+    /// Replication factor `r` realizing `exact`.
+    parent_r: Vec<u32>,
 }
 
-/// Single-application replicated period DP at the top speed. `O(n²·qmax²)`.
+/// Single-application replicated period DP at the top speed, in flat
+/// arenas. Worst case `O(n²·qmax²)`, but the inner scan walks splits
+/// descending and stops once even maximal replication of the last interval
+/// (`W(j, i-1)/(s·k)`, a bitwise lower bound of every candidate and
+/// monotone in the split) exceeds the incumbent — exact and typically
+/// near-linear.
 pub fn replicated_period_table(ctx: &HomCtx<'_>, qmax: usize) -> ReplicatedPeriodTable {
     let n = ctx.app.n();
     let s = ctx.max_speed();
     let inf = f64::INFINITY;
     let kcap = qmax.max(1);
-    let mut exact = vec![vec![inf; n + 1]; kcap + 1];
-    let mut parent = vec![vec![(usize::MAX, 0usize); n + 1]; kcap + 1];
-    exact[0][0] = 0.0;
+    let stride = n + 1;
+    let mut exact = vec![inf; (kcap + 1) * stride];
+    let mut parent_j = vec![u32::MAX; (kcap + 1) * stride];
+    let mut parent_r = vec![0u32; (kcap + 1) * stride];
+    exact[0] = 0.0;
     for k in 1..=kcap {
-        exact[k][0] = 0.0;
+        exact[k * stride] = 0.0;
         for i in 1..=n {
             let mut best = inf;
-            let mut arg = (usize::MAX, 0usize);
-            for j in 0..i {
+            let mut arg = (u32::MAX, 0u32);
+            // Descending split scan with `≤` keeps the smallest (j, then r)
+            // attaining the minimum — the same pair as the reference
+            // ascending strict scan — while allowing the monotone early
+            // stop on the compute lower bound.
+            for j in (0..i).rev() {
+                let w = ctx.app.interval_work(j, i - 1) / s;
+                if w / k as f64 > best {
+                    break;
+                }
                 // Last interval is stages j..=i-1, replicated r times.
                 let cycle = ctx.cycle(j, i - 1, s);
+                let mut best_j = inf;
+                let mut arg_r = 0u32;
                 for r in 1..=k {
-                    if exact[k - r][j].is_finite() {
-                        let cand = num::fmax(exact[k - r][j], cycle / r as f64);
-                        if cand < best {
-                            best = cand;
-                            arg = (j, r);
+                    // `cand ≥ cycle/r ≥ w/r`: r cannot improve this split.
+                    if w / r as f64 > best_j {
+                        continue;
+                    }
+                    if exact[(k - r) * stride + j].is_finite() {
+                        let cand = num::fmax(exact[(k - r) * stride + j], cycle / r as f64);
+                        if cand < best_j {
+                            best_j = cand;
+                            arg_r = r as u32;
                         }
                     }
                 }
+                if best_j <= best {
+                    best = best_j;
+                    arg = (j as u32, arg_r);
+                }
             }
-            exact[k][i] = best;
-            parent[k][i] = arg;
+            exact[k * stride + i] = best;
+            parent_j[k * stride + i] = arg.0;
+            parent_r[k * stride + i] = arg.1;
         }
     }
     let mut bestv = Vec::with_capacity(qmax);
     let mut acc = inf;
     for q in 1..=qmax {
-        acc = num::fmin(acc, exact[q][n]);
+        acc = num::fmin(acc, exact[q * stride + n]);
         bestv.push(acc);
     }
-    ReplicatedPeriodTable { best: bestv, n, exact, parent }
+    ReplicatedPeriodTable { best: bestv, n, stride, exact, parent_j, parent_r }
 }
 
 impl ReplicatedPeriodTable {
@@ -98,14 +128,15 @@ impl ReplicatedPeriodTable {
     pub fn partition(&self, q: usize, top_mode: usize) -> ReplicatedPartition {
         let target = self.best[q - 1];
         let k = (1..=q)
-            .find(|&k| num::le(self.exact[k][self.n], target))
+            .find(|&k| num::le(self.exact[k * self.stride + self.n], target))
             .expect("replicated period table is consistent");
         let mut intervals = Vec::new();
         let mut factors = Vec::new();
         let mut i = self.n;
         let mut kk = k;
         while i > 0 {
-            let (j, r) = self.parent[kk][i];
+            let j = self.parent_j[kk * self.stride + i] as usize;
+            let r = self.parent_r[kk * self.stride + i] as usize;
             intervals.push((j, i - 1));
             factors.push(r);
             kk -= r;
@@ -223,72 +254,97 @@ pub fn min_energy_replicated_under_period(
     let qmax = p - a_count + 1;
 
     // Per-application DP: e[k][i] = min energy, exactly k processors, first
-    // i stages; each interval contributes its cheapest (r, mode).
+    // i stages; each interval contributes its cheapest (r, mode). Flat
+    // arenas; every (j, r) pair whose compute lower bound `W/(s_top·r)`
+    // already misses the period bound is skipped exactly (the cycle-time at
+    // every mode dominates that bound bitwise, so the reference scan would
+    // have found no feasible mode either).
     struct AppTable {
+        n: usize,
+        stride: usize,
         exact_k: Vec<f64>,
-        parent: Vec<Vec<(usize, usize, usize)>>, // (split j, r, mode)
+        parent_j: Vec<u32>,
+        parent_r: Vec<u32>,
+        parent_m: Vec<u32>,
     }
+    let s_top = *speeds.last().expect("non-empty speed set");
     let mut tables = Vec::with_capacity(a_count);
     for (a, app) in apps.apps.iter().enumerate() {
         let mut ctx = HomCtx::new(app, &speeds, b, model);
         ctx.e_stat = e_stat;
         let n = app.n();
-        let mut exact = vec![vec![inf; n + 1]; qmax + 1];
-        let mut parent = vec![vec![(usize::MAX, 0usize, 0usize); n + 1]; qmax + 1];
-        exact[0][0] = 0.0;
+        let stride = n + 1;
+        let cells = (qmax + 1) * stride;
+        let mut exact = vec![inf; cells];
+        let mut parent_j = vec![u32::MAX; cells];
+        let mut parent_r = vec![0u32; cells];
+        let mut parent_m = vec![0u32; cells];
+        exact[0] = 0.0;
         for k in 1..=qmax {
-            exact[k][0] = 0.0;
+            exact[k * stride] = 0.0;
             for i in 1..=n {
                 let mut best = inf;
-                let mut arg = (usize::MAX, 0usize, 0usize);
+                let mut arg = (u32::MAX, 0u32, 0u32);
                 for j in 0..i {
+                    let w_top = app.interval_work(j, i - 1) / s_top;
+                    // Even maximal replication misses the bound: no r fits.
+                    if !num::le(w_top / k as f64, period_bounds[a]) {
+                        continue;
+                    }
                     // The replication factor must be chosen jointly with the
                     // split: the globally cheapest (r, mode) can starve the
                     // prefix of processors while a costlier smaller r fits.
                     for r in 1..=k {
-                        if !exact[k - r][j].is_finite() {
+                        if !exact[(k - r) * stride + j].is_finite() {
+                            continue;
+                        }
+                        if !num::le(w_top / r as f64, period_bounds[a]) {
                             continue;
                         }
                         if let Some((m, e)) =
                             cheapest_mode_for_factor(&ctx, j, i - 1, period_bounds[a], r)
                         {
-                            if exact[k - r][j] + e < best {
-                                best = exact[k - r][j] + e;
-                                arg = (j, r, m);
+                            let prev = exact[(k - r) * stride + j];
+                            if prev + e < best {
+                                best = prev + e;
+                                arg = (j as u32, r as u32, m as u32);
                             }
                         }
                     }
                 }
-                exact[k][i] = best;
-                parent[k][i] = arg;
+                exact[k * stride + i] = best;
+                parent_j[k * stride + i] = arg.0;
+                parent_r[k * stride + i] = arg.1;
+                parent_m[k * stride + i] = arg.2;
             }
         }
-        let exact_k: Vec<f64> = (1..=qmax).map(|k| exact[k][n]).collect();
-        tables.push((AppTable { exact_k, parent }, n));
+        let exact_k: Vec<f64> = (1..=qmax).map(|k| exact[k * stride + n]).collect();
+        tables.push(AppTable { n, stride, exact_k, parent_j, parent_r, parent_m });
     }
 
-    // Theorem-21-style convolution across applications.
-    let mut e = vec![vec![inf; p + 1]; a_count + 1];
-    let mut choice = vec![vec![usize::MAX; p + 1]; a_count + 1];
-    e[0][0] = 0.0;
+    // Theorem-21-style convolution across applications (flat arena).
+    let cstride = p + 1;
+    let mut e = vec![inf; (a_count + 1) * cstride];
+    let mut choice = vec![u32::MAX; (a_count + 1) * cstride];
+    e[0] = 0.0;
     for a in 1..=a_count {
         for k in a..=p {
             let mut best = inf;
-            let mut arg = usize::MAX;
-            let qcap = tables[a - 1].0.exact_k.len().min(k - (a - 1));
+            let mut arg = u32::MAX;
+            let qcap = tables[a - 1].exact_k.len().min(k - (a - 1));
             for q in 1..=qcap {
-                let prev = e[a - 1][k - q];
-                let cur = tables[a - 1].0.exact_k[q - 1];
+                let prev = e[(a - 1) * cstride + k - q];
+                let cur = tables[a - 1].exact_k[q - 1];
                 if prev.is_finite() && cur.is_finite() && prev + cur < best {
                     best = prev + cur;
-                    arg = q;
+                    arg = q as u32;
                 }
             }
-            e[a][k] = best;
-            choice[a][k] = arg;
+            e[a * cstride + k] = best;
+            choice[a * cstride + k] = arg;
         }
     }
-    let (k_best, &e_best) = e[a_count]
+    let (k_best, &e_best) = e[a_count * cstride..(a_count + 1) * cstride]
         .iter()
         .enumerate()
         .min_by(|(_, x), (_, y)| x.partial_cmp(y).expect("no NaN"))?;
@@ -300,22 +356,24 @@ pub fn min_energy_replicated_under_period(
     let mut counts = vec![0usize; a_count];
     let mut k = k_best;
     for a in (1..=a_count).rev() {
-        counts[a - 1] = choice[a][k];
-        k -= choice[a][k];
+        let q = choice[a * cstride + k] as usize;
+        counts[a - 1] = q;
+        k -= q;
     }
     let mut partitions = Vec::with_capacity(a_count);
-    for a in 0..a_count {
-        let (table, n) = &tables[a];
+    for (a, table) in tables.iter().enumerate() {
+        let mut kk = counts[a];
         let mut intervals = Vec::new();
         let mut factors = Vec::new();
         let mut modes = Vec::new();
-        let mut i = *n;
-        let mut kk = counts[a];
+        let mut i = table.n;
         while i > 0 {
-            let (j, r, m) = table.parent[kk][i];
+            let cell = kk * table.stride + i;
+            let j = table.parent_j[cell] as usize;
+            let r = table.parent_r[cell] as usize;
             intervals.push((j, i - 1));
             factors.push(r);
-            modes.push(m);
+            modes.push(table.parent_m[cell] as usize);
             kk -= r;
             i = j;
         }

@@ -25,9 +25,10 @@
 //!    independent of thread count and scheduling.
 //!
 //! Solvers plug in via [`CandidateSolver`], which also owns a per-thread
-//! [`CandidateSolver::State`] so expensive scratch structures (Hungarian
-//! workspaces, cost matrices) are reused across the candidates of a batch
-//! instead of reallocated per solve.
+//! [`CandidateSolver::State`] so expensive scratch structures (the flat
+//! `dp::DpWorkspace` DP arenas with their sweep-wide incremental mode
+//! frontiers, Hungarian workspaces, flat cost matrices) are reused across
+//! the candidates of a batch instead of reallocated per solve.
 
 use crate::solution::Solution;
 use cpo_model::num;

@@ -13,7 +13,8 @@
 
 use crate::alloc::allocate_processors;
 use crate::dp::{
-    latency_under_period, min_period_under_latency_with, HomCtx, IntervalCostTable,
+    latency_dp, min_period_under_latency_probe, min_period_under_latency_scratch, DpScratch,
+    DpWorkspace, HomCtx, IntervalCostTable,
 };
 use crate::mono::period_interval::mapping_from_partitions;
 use crate::solution::Solution;
@@ -69,7 +70,8 @@ pub fn min_period_tri_unimodal(
         return None;
     }
     // Cost tables and candidate-period sets built once per application,
-    // reused by every (latency bound, processor count) probe below.
+    // reused by every (latency bound, processor count) probe below; the
+    // probes run the lean best-only recurrence on one shared scratch.
     let tables: Vec<IntervalCostTable> = apps
         .apps
         .iter()
@@ -77,21 +79,28 @@ pub fn min_period_tri_unimodal(
         .collect();
     let candidates: Vec<Vec<f64>> = tables.iter().map(|t| t.candidates()).collect();
     let weights: Vec<f64> = apps.apps.iter().map(|a| a.weight).collect();
+    let mut scratch = DpScratch::new();
     let alloc = allocate_processors(a_count, k, &weights, |a, q| {
-        min_period_under_latency_with(&tables[a], &candidates[a], latency_bounds[a], q)
-            .map(|(t, _)| t)
-            .unwrap_or(f64::INFINITY)
+        min_period_under_latency_probe(
+            &tables[a],
+            &candidates[a],
+            latency_bounds[a],
+            q,
+            &mut scratch,
+        )
+        .unwrap_or(f64::INFINITY)
     })?;
     if !alloc.objective.is_finite() {
         return None;
     }
     let partitions: Vec<_> = (0..a_count)
         .map(|a| {
-            min_period_under_latency_with(
+            min_period_under_latency_scratch(
                 &tables[a],
                 &candidates[a],
                 latency_bounds[a],
                 alloc.procs[a],
+                &mut scratch,
             )
             .expect("finite objective")
             .1
@@ -121,23 +130,24 @@ pub fn min_latency_tri_unimodal(
         return None;
     }
     let qmax = k - a_count + 1;
-    let tables: Vec<_> = apps
-        .apps
-        .iter()
-        .zip(period_bounds)
-        .map(|(app, &tb)| {
-            let ctx = HomCtx::new(app, &speeds, b, model);
-            latency_under_period(&ctx, tb, qmax)
-        })
-        .collect();
+    // Per-application Theorem 15 tables in a reusable workspace (flat
+    // arenas, one scratch per application so partitions stay available
+    // after the allocation).
+    let mut workspace = DpWorkspace::new();
+    for (a, (app, &tb)) in apps.apps.iter().zip(period_bounds).enumerate() {
+        let ctx = HomCtx::new(app, &speeds, b, model);
+        latency_dp(&IntervalCostTable::build(&ctx), tb, qmax, workspace.app_scratch(a));
+    }
+    let per_app = &workspace.per_app;
     let weights: Vec<f64> = apps.apps.iter().map(|a| a.weight).collect();
-    let alloc = allocate_processors(a_count, k, &weights, |a, q| tables[a].best[q - 1])?;
+    let alloc =
+        allocate_processors(a_count, k, &weights, |a, q| per_app[a].best_row()[q - 1])?;
     if !alloc.objective.is_finite() {
         return None;
     }
     let top = speeds.len() - 1;
     let partitions: Vec<_> = (0..a_count)
-        .map(|a| tables[a].partition(alloc.procs[a], top).expect("finite objective"))
+        .map(|a| per_app[a].latency_partition(alloc.procs[a], top).expect("finite objective"))
         .collect();
     let mapping = mapping_from_partitions(&partitions);
     debug_assert!(mapping.validate(apps, platform).is_ok());
@@ -167,13 +177,14 @@ pub fn min_energy_tri_unimodal(
     let qmax = p - a_count + 1;
     let mut partitions = Vec::with_capacity(a_count);
     let mut total_procs = 0usize;
+    let mut scratch = DpScratch::new();
     for (a, app) in apps.apps.iter().enumerate() {
         let ctx = HomCtx::new(app, &speeds, b, model);
-        let table = latency_under_period(&ctx, period_bounds[a], qmax);
+        latency_dp(&IntervalCostTable::build(&ctx), period_bounds[a], qmax, &mut scratch);
         // Fewest processors meeting the latency bound.
-        let q = (1..=qmax).find(|&q| num::le(table.best[q - 1], latency_bounds[a]))?;
+        let q = (1..=qmax).find(|&q| num::le(scratch.best_row()[q - 1], latency_bounds[a]))?;
         let top = speeds.len() - 1;
-        partitions.push(table.partition(q, top).expect("feasible q"));
+        partitions.push(scratch.latency_partition(q, top).expect("feasible q"));
         total_procs += q;
     }
     if total_procs > p {

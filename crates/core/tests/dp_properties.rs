@@ -3,7 +3,9 @@
 //! `exact` module — a genuinely different oracle).
 
 use cpo_core::dp::{
-    energy_under_period, latency_under_period, min_period_under_latency, period_table, HomCtx,
+    energy_under_period, energy_under_period_with, latency_under_period,
+    latency_under_period_with, min_period_under_latency, period_best_only, period_table,
+    HomCtx, IntervalCostTable,
 };
 use cpo_model::application::Application;
 use cpo_model::energy::EnergyModel;
@@ -168,13 +170,62 @@ proptest! {
         let speeds = [1.0, 3.0];
         let ctx = HomCtx::new(&app, &speeds, 2.0, CommModel::Overlap);
         let table = period_table(&ctx, qi);
-        let part = table.partition(qi, 1);
+        let part = table.partition(qi, 1).expect("finite stage data");
         let s = ctx.max_speed();
         let t = part.intervals.iter().map(|&(lo, hi)| ctx.cycle(lo, hi, s)).fold(0.0f64, f64::max);
         prop_assert!((t - table.best[qi - 1]).abs() < 1e-9);
         // Structural sanity.
         prop_assert_eq!(part.intervals[0].0, 0);
         prop_assert_eq!(part.intervals.last().unwrap().1, app.n() - 1);
+    }
+
+    #[test]
+    fn with_forms_match_direct_forms(seed in 0u64..100_000, tb_tenths in 0u32..200, qi in 1usize..6) {
+        // The prebuilt-table `_with` forms must agree with the direct
+        // HomCtx forms on random instances — including *infeasible* period
+        // bounds (tb can be 0) — under both communication models, down to
+        // the reconstructed partitions.
+        let app = random_app(seed);
+        let speeds = [1.0, 2.5, 5.0];
+        let t_bound = tb_tenths as f64 / 10.0;
+        for model in CommModel::ALL {
+            let mut ctx = HomCtx::new(&app, &speeds, 2.0, model);
+            ctx.e_stat = 0.75;
+            let table = IntervalCostTable::build(&ctx);
+            let l_direct = latency_under_period(&ctx, t_bound, qi);
+            let l_table = latency_under_period_with(&table, t_bound, qi);
+            prop_assert_eq!(l_direct.best.len(), l_table.best.len());
+            for (x, y) in l_direct.best.iter().zip(&l_table.best) {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "latency best (T={})", t_bound);
+            }
+            prop_assert_eq!(l_direct.partition(qi, 2), l_table.partition(qi, 2));
+            let e_direct = energy_under_period(&ctx, t_bound, qi);
+            let e_table = energy_under_period_with(&table, t_bound, qi);
+            prop_assert_eq!(e_direct.exact_k.len(), e_table.exact_k.len());
+            for (x, y) in e_direct.exact_k.iter().zip(&e_table.exact_k) {
+                prop_assert_eq!(x.to_bits(), y.to_bits(), "energy exact_k (T={})", t_bound);
+            }
+            prop_assert_eq!(e_direct.best.to_bits(), e_table.best.to_bits());
+            prop_assert_eq!(e_direct.partition_best(), e_table.partition_best());
+            for k in 1..=e_direct.exact_k.len() {
+                prop_assert_eq!(e_direct.partition_exact(k), e_table.partition_exact(k));
+            }
+        }
+    }
+
+    #[test]
+    fn period_best_only_is_bitwise_equal(seed in 0u64..100_000, qi in 1usize..7) {
+        let app = random_app(seed);
+        let speeds = [1.5, 4.0];
+        for model in CommModel::ALL {
+            let ctx = HomCtx::new(&app, &speeds, 1.0, model);
+            let full = period_table(&ctx, qi);
+            let lean = period_best_only(&ctx, qi);
+            prop_assert_eq!(full.best.len(), lean.len());
+            for (x, y) in full.best.iter().zip(&lean) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
     }
 
     #[test]

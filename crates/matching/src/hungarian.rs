@@ -19,6 +19,60 @@ pub struct AssignmentResult {
     pub cost: f64,
 }
 
+/// Flat, reusable row-major cost matrix.
+///
+/// The sweep engines stage one assignment instance per candidate threshold;
+/// a nested `Vec<Vec<f64>>` costs one allocation per row per candidate.
+/// This arena keeps a single buffer alive across solves (growing to the
+/// largest instance seen) — the same idiom as [`HungarianWorkspace`] and
+/// `cpo_core`'s `DpScratch`.
+#[derive(Debug, Default, Clone)]
+pub struct CostMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl CostMatrix {
+    /// Empty matrix; the buffer grows lazily.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resize to `rows × cols`, zero-filled, reusing the allocation.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Cost of edge `(r, c)`.
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Mutable row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
+        let cols = self.cols;
+        &mut self.data[r * cols..(r + 1) * cols]
+    }
+}
+
 /// Reusable scratch buffers for [`hungarian_min_cost`].
 ///
 /// A Pareto sweep solves one assignment per candidate period — hundreds to
@@ -78,7 +132,26 @@ impl HungarianWorkspace {
             cost.iter().flatten().all(|&c| c.is_infinite() || c.is_finite()),
             "costs must be finite or +inf"
         );
+        self.solve_inner(n, m, |r, c| cost[r][c])
+    }
 
+    /// [`HungarianWorkspace::solve`] on a flat [`CostMatrix`] — identical
+    /// results, no nested-Vec staging.
+    pub fn solve_flat(&mut self, cost: &CostMatrix) -> Option<AssignmentResult> {
+        let (n, m) = (cost.rows(), cost.cols());
+        if n == 0 {
+            return Some(AssignmentResult { row_to_col: vec![], cost: 0.0 });
+        }
+        assert!(n <= m, "hungarian_min_cost requires rows <= cols");
+        self.solve_inner(n, m, |r, c| cost.at(r, c))
+    }
+
+    fn solve_inner(
+        &mut self,
+        n: usize,
+        m: usize,
+        cost: impl Fn(usize, usize) -> f64,
+    ) -> Option<AssignmentResult> {
         const INF: f64 = f64::INFINITY;
         // p[c] = row matched to column c (0 = free), u/v = potentials.
         self.reset(n, m);
@@ -99,7 +172,7 @@ impl HungarianWorkspace {
                     if used[j] {
                         continue;
                     }
-                    let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                    let cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
                     if cur < minv[j] {
                         minv[j] = cur;
                         way[j] = j0;
@@ -150,7 +223,7 @@ impl HungarianWorkspace {
             if c == usize::MAX {
                 return None;
             }
-            let edge = cost[r][c];
+            let edge = cost(r, c);
             if !edge.is_finite() {
                 return None;
             }
@@ -268,6 +341,33 @@ mod tests {
         for cost in &instances {
             assert_eq!(ws.solve(cost), hungarian_min_cost(cost));
         }
+    }
+
+    #[test]
+    fn flat_matrix_solves_match_nested() {
+        // The flat-arena staging must reproduce the nested-Vec form on
+        // every instance shape, including infeasible ones, with one matrix
+        // reused across solves.
+        let instances = [
+            vec![vec![4.0, 1.0, 3.0], vec![2.0, 0.0, 5.0], vec![3.0, 2.0, 2.0]],
+            vec![vec![10.0, 1.0, 7.0, 3.0], vec![2.0, 9.0, 8.0, 4.0]],
+            vec![vec![f64::INFINITY, 5.0], vec![1.0, f64::INFINITY]],
+            vec![vec![1.0, 2.0], vec![f64::INFINITY, f64::INFINITY]],
+        ];
+        let mut ws = HungarianWorkspace::new();
+        let mut flat = CostMatrix::new();
+        for cost in &instances {
+            flat.reset(cost.len(), cost[0].len());
+            for (r, row) in cost.iter().enumerate() {
+                flat.row_mut(r).copy_from_slice(row);
+            }
+            assert_eq!(ws.solve_flat(&flat), hungarian_min_cost(cost));
+        }
+        // Empty problem through the flat path.
+        flat.reset(0, 0);
+        let res = ws.solve_flat(&flat).unwrap();
+        assert!(res.row_to_col.is_empty());
+        assert_eq!(res.cost, 0.0);
     }
 
     #[test]

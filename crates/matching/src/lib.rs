@@ -15,4 +15,4 @@ pub mod hopcroft_karp;
 pub mod hungarian;
 
 pub use hopcroft_karp::max_bipartite_matching;
-pub use hungarian::{hungarian_min_cost, AssignmentResult, HungarianWorkspace};
+pub use hungarian::{hungarian_min_cost, AssignmentResult, CostMatrix, HungarianWorkspace};

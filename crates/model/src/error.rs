@@ -20,6 +20,9 @@ pub enum ModelError {
     DimensionMismatch { what: &'static str, expected: usize, found: usize },
     /// A mapping failed structural validation.
     InvalidMapping { reason: String },
+    /// A solver table was contaminated by non-finite inputs (NaN stage
+    /// data, NaN speeds) and could not be reconstructed consistently.
+    NonFiniteData { what: &'static str },
 }
 
 impl fmt::Display for ModelError {
@@ -40,6 +43,9 @@ impl fmt::Display for ModelError {
                 write!(f, "dimension mismatch for {}: expected {}, found {}", what, expected, found)
             }
             ModelError::InvalidMapping { reason } => write!(f, "invalid mapping: {}", reason),
+            ModelError::NonFiniteData { what } => {
+                write!(f, "non-finite data contaminated {}", what)
+            }
         }
     }
 }

@@ -44,7 +44,7 @@ fn main() {
     let ctx = HomCtx::new(&app, &speeds, 1.0, CommModel::Overlap);
 
     let table = period_table(&ctx, WORKERS);
-    let partition = table.partition(WORKERS, 0);
+    let partition = table.partition(WORKERS, 0).expect("finite stage data");
     println!(
         "chain works {:?} ms; DP balanced partition over ≤ {} workers: {:?} \
          (analytic period {:.0} ms vs {:.0} ms on one worker)",

@@ -7,8 +7,9 @@
 //! are printed in a criterion-like format. Two environment variables
 //! control the harness:
 //!
-//! * `CPO_BENCH_FAST=1` caps every benchmark at one measured iteration
-//!   (useful for smoke-testing all ten targets);
+//! * `CPO_BENCH_FAST=1` caps every benchmark at three measured iterations
+//!   within a 200 ms budget (smoke-testing all ten targets; a median of
+//!   three is stable enough for `bench_diff`'s regression gate);
 //! * `CPO_BENCH_JSON=<path>` additionally merges every result into a
 //!   machine-readable JSON report at `<path>` — a flat object mapping the
 //!   full benchmark name to `{"median_ns", "mean_ns", "iters"}`. The file
@@ -293,8 +294,13 @@ impl Criterion {
     ) where
         F: FnMut(&mut Bencher),
     {
+        // Fast mode takes three measured iterations (plus the usual single
+        // warm-up inside Bencher::iter): a single-iteration median is too
+        // cold-start-noisy to diff against a committed full-measurement
+        // baseline, while a median of three keeps the smoke run cheap and
+        // stable enough for bench_diff's 2x regression gate.
         let (iterations, budget) = if self.fast {
-            (1, Duration::from_millis(50))
+            (3, Duration::from_millis(200))
         } else {
             (sample_size, measurement_time)
         };
