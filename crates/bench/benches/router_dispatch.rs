@@ -1,0 +1,119 @@
+//! Router/engine dispatch overhead: the typed front door
+//! (`ProblemSpec → router → SolveOutcome`) and the batch engine must cost
+//! (nearly) nothing over calling the solvers directly.
+//!
+//! * `direct_single` vs `routed_single` — one Theorem 18/21 energy solve,
+//!   direct entry point vs `cpo_core::route`;
+//! * `direct_batch64` vs `engine_batch64_seq` — 64 mixed specs (energy
+//!   ladder + latency-under-period + period + an infeasible tail) solved
+//!   by a sequential loop of direct calls vs `cpo_engine` with one
+//!   worker and the cache off (the acceptance gate: < 10% overhead);
+//! * `engine_batch64_par` — the same batch on 4 workers (informational);
+//! * `engine_batch64_cached` — the same batch with the memo cache primed
+//!   (the repeated-spec fast path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use cpo_bench::{fully_hom_instance, workable_period_bounds};
+use cpo_core::bi::period_energy::min_energy_interval_fully_hom;
+use cpo_core::bi::period_latency::min_latency_under_period_fully_hom;
+use cpo_core::mono::period_interval::minimize_global_period;
+use cpo_core::route;
+use cpo_engine::{BatchItem, Engine, EngineConfig};
+use cpo_model::prelude::*;
+use std::hint::black_box;
+
+/// The 64-spec mixed batch and the equivalent direct-call closures.
+fn batch_specs(apps: &AppSet) -> Vec<ProblemSpec> {
+    let base = workable_period_bounds(apps, 2.0);
+    let mut specs = Vec::with_capacity(64);
+    for i in 0..64usize {
+        let scale = 0.2 + 0.05 * i as f64; // tight (some infeasible) → loose
+        let tb: Vec<f64> = base.iter().map(|b| b * scale).collect();
+        let spec = match i % 4 {
+            0 | 1 => ProblemSpec::new(Objective::Energy, Strategy::Interval, CommModel::Overlap)
+                .with_period_bounds(tb),
+            2 => ProblemSpec::new(Objective::Latency, Strategy::Interval, CommModel::Overlap)
+                .with_period_bounds(tb),
+            _ => ProblemSpec::new(Objective::Period, Strategy::Interval, CommModel::Overlap),
+        };
+        specs.push(spec);
+    }
+    specs
+}
+
+/// The same 64 problems through the direct entry points (the baseline the
+/// engine is gated against).
+fn direct_batch(apps: &AppSet, pf: &Platform, specs: &[ProblemSpec]) -> usize {
+    let mut solved = 0usize;
+    for spec in specs {
+        let found = match spec.objective {
+            Objective::Energy => min_energy_interval_fully_hom(
+                apps,
+                pf,
+                CommModel::Overlap,
+                spec.constraints.period.as_ref().expect("energy specs carry bounds"),
+            )
+            .is_some(),
+            Objective::Latency => min_latency_under_period_fully_hom(
+                apps,
+                pf,
+                CommModel::Overlap,
+                spec.constraints.period.as_ref().expect("latency specs carry bounds"),
+            )
+            .is_some(),
+            _ => minimize_global_period(apps, pf, CommModel::Overlap).is_some(),
+        };
+        solved += usize::from(found);
+    }
+    solved
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("router_dispatch");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.sample_size(15);
+
+    let (apps, pf) = fully_hom_instance(2, 8, 8, (3, 3));
+    let tb = workable_period_bounds(&apps, 2.0);
+    let single = ProblemSpec::new(Objective::Energy, Strategy::Interval, CommModel::Overlap)
+        .with_period_bounds(tb.clone());
+
+    g.bench_function("direct_single", |b| {
+        b.iter(|| min_energy_interval_fully_hom(black_box(&apps), &pf, CommModel::Overlap, &tb))
+    });
+    g.bench_function("routed_single", |b| {
+        b.iter(|| route(black_box(&apps), &pf, &single))
+    });
+
+    let specs = batch_specs(&apps);
+    let items: Vec<BatchItem<'_>> =
+        specs.iter().map(|s| BatchItem::new(&apps, &pf, s)).collect();
+
+    g.bench_function("direct_batch64", |b| {
+        b.iter(|| direct_batch(black_box(&apps), &pf, &specs))
+    });
+    g.bench_function("engine_batch64_seq", |b| {
+        b.iter(|| {
+            let engine = Engine::new(EngineConfig::sequential());
+            engine.solve_batch(black_box(&items)).len()
+        })
+    });
+    g.bench_function("engine_batch64_par", |b| {
+        b.iter(|| {
+            let engine = Engine::new(EngineConfig::with_threads(4));
+            engine.solve_batch(black_box(&items)).len()
+        })
+    });
+    // Cache primed once outside the timed loop; the measured iterations
+    // are pure cache hits (the repeated-batch serving path).
+    let cached = Engine::new(EngineConfig { threads: 1, cache: true });
+    cached.solve_batch(&items);
+    g.bench_function("engine_batch64_cached", |b| {
+        b.iter(|| cached.solve_batch(black_box(&items)).len())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

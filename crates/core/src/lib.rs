@@ -34,14 +34,19 @@ pub mod heuristics;
 pub mod mono;
 pub mod pareto;
 pub mod replication;
+pub mod router;
 pub mod sharing;
 pub mod solution;
 pub mod sweep;
 pub mod tri;
 
+pub use router::{plan, route, route_with, Plan, RouterScratch};
 pub use solution::{Criterion, MappingKind, Solution};
 
-/// Prelude re-exporting the solver entry points.
+/// Prelude re-exporting the crate's full public solver surface: every
+/// entry point of every module (mono/bi/tri solvers, exact baselines,
+/// heuristics, fairness, the Section 6 extensions, the Pareto sweeps) plus
+/// the typed front door (problem IR + router).
 pub mod prelude {
     pub use crate::bi::period_energy::{
         min_energy_interval_fully_hom, min_energy_one_to_one_matching,
@@ -50,9 +55,14 @@ pub mod prelude {
         min_latency_under_period_fully_hom, min_period_under_latency_fully_hom,
     };
     pub use crate::exact::{exact_optimize, ExactConfig, SpeedPolicy};
+    pub use crate::fairness::{
+        apply_period_stretch_weights, reference_latencies, reference_periods,
+        reference_periods_exact, scale_out_weights,
+    };
     pub use crate::heuristics::{greedy_energy_downscale, local_search, LocalSearchConfig};
     pub use crate::mono::latency::{
-        min_latency_interval_comm_hom, min_latency_one_to_one_fully_hom,
+        latency_one_to_one_heuristic, min_latency_interval_comm_hom,
+        min_latency_one_to_one_fully_hom, min_latency_one_to_one_single_app,
     };
     pub use crate::mono::period_interval::minimize_global_period;
     pub use crate::mono::period_one_to_one::min_period_one_to_one_comm_hom;
@@ -60,10 +70,22 @@ pub mod prelude {
         period_energy_front, period_energy_front_with, period_latency_front,
         period_latency_front_with, ParetoPoint, PeriodLatencyPoint,
     };
+    pub use crate::replication::{
+        min_energy_replicated_under_period, minimize_global_period_replicated,
+        replicated_period_table, ReplicatedPartition, ReplicatedPeriodTable,
+    };
+    pub use crate::router::{plan, route, route_with, Plan, RouterScratch};
+    pub use crate::sharing::{exact_min_period_general, lpt_general_period, sharing_gain};
     pub use crate::solution::{Criterion, MappingKind, Solution};
     pub use crate::sweep::Sweep;
-    pub use crate::tri::multimodal::branch_and_bound_tri;
+    pub use crate::tri::multimodal::{
+        branch_and_bound_tri, branch_and_bound_tri_counted, tri_feasible,
+    };
     pub use crate::tri::unimodal::{
         min_energy_tri_unimodal, min_latency_tri_unimodal, min_period_tri_unimodal,
+    };
+    pub use cpo_model::spec::{
+        FrontEntry, Objective, ProblemSpec, SolveOutcome, SolveRequest, SolvedMapping,
+        SolvedPoint, SolverHints, Strategy,
     };
 }

@@ -1,0 +1,323 @@
+//! # cpo-engine — the batched solve engine
+//!
+//! [`cpo_core::router`] answers one [`ProblemSpec`] at a time; this crate
+//! runs *batches*: a work-stealing pool of workers, each owning a
+//! reusable [`RouterScratch`] (flat DP arenas, Hungarian workspace,
+//! bound buffers), pulls items off a shared atomic cursor and routes
+//! them. The design mirrors the Pareto sweep engine's fan-out — scoped
+//! threads, results merged by item index — so:
+//!
+//! * **Results are deterministic and ordered.** The returned vector holds
+//!   item `i`'s outcome at position `i`, bit-for-bit identical for every
+//!   thread count (each item is solved by the same deterministic router).
+//! * **Failures are per-item.** An infeasible or unsupported spec becomes
+//!   that item's [`SolveOutcome`]; a solver panic (which the router's
+//!   validation should make unreachable) is caught and reported as an
+//!   unsupported outcome — a batch never aborts and never panics.
+//! * **Repeated work is memoized.** An instance-keyed cache (spec +
+//!   instance, serialized canonically) returns previously-computed
+//!   outcomes; identical specs in one batch or across batches solve once.
+//! * **Results stream.** [`Engine::solve_batch_with`] invokes a callback
+//!   as each outcome lands (from the worker that produced it), so callers
+//!   can report progress or forward results while the batch continues.
+
+use cpo_core::router::{route_with, RouterScratch};
+use cpo_model::io::serde_json_error;
+use cpo_model::prelude::*;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// One unit of batch work: a problem spec over an instance. Borrowed so a
+/// batch of many specs over one instance shares it allocation-free.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchItem<'a> {
+    /// The concurrent applications.
+    pub apps: &'a AppSet,
+    /// The target platform.
+    pub platform: &'a Platform,
+    /// The problem to solve on them.
+    pub spec: &'a ProblemSpec,
+}
+
+impl<'a> BatchItem<'a> {
+    /// Bundle an item.
+    pub fn new(apps: &'a AppSet, platform: &'a Platform, spec: &'a ProblemSpec) -> Self {
+        BatchItem { apps, platform, spec }
+    }
+
+    /// Canonical instance part of the cache key: compact JSON of apps +
+    /// platform (object keys are sorted by the serializer, so equal
+    /// values always produce equal keys). Computed once per distinct
+    /// instance per batch — see [`Engine::solve_batch_with`].
+    fn instance_key(&self) -> Option<String> {
+        let apps = serde_json_error::to_string(self.apps).ok()?;
+        let platform = serde_json_error::to_string(self.platform).ok()?;
+        Some(format!("{apps}\u{1}{platform}"))
+    }
+
+    /// Full cache key: spec + precomputed instance part.
+    fn cache_key(&self, instance_key: &str) -> Option<String> {
+        let spec = serde_json_error::to_string(self.spec).ok()?;
+        Some(format!("{spec}\u{1}{instance_key}"))
+    }
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads (`0` = one per available core). `1` keeps the whole
+    /// batch on the calling thread — the zero-overhead sequential mode the
+    /// dispatch bench gates.
+    pub threads: usize,
+    /// Enable the instance-keyed memo cache.
+    pub cache: bool,
+}
+
+impl Default for EngineConfig {
+    /// One worker per core, cache on.
+    fn default() -> Self {
+        EngineConfig { threads: 0, cache: true }
+    }
+}
+
+impl EngineConfig {
+    /// Sequential, cache off: dispatch overhead only.
+    pub fn sequential() -> Self {
+        EngineConfig { threads: 1, cache: false }
+    }
+
+    /// Parallel over `threads` workers, cache on.
+    pub fn with_threads(threads: usize) -> Self {
+        EngineConfig { threads, cache: true }
+    }
+}
+
+/// Memo-cache counters (monotone over the engine's lifetime).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Batch items answered from the cache.
+    pub hits: u64,
+    /// Batch items that ran a solver.
+    pub misses: u64,
+}
+
+/// The batched solve engine. Cheap to construct; reusable across batches
+/// (the memo cache persists and keeps filling).
+pub struct Engine {
+    cfg: EngineConfig,
+    cache: Mutex<HashMap<String, SolveOutcome>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::new(EngineConfig::default())
+    }
+}
+
+impl Engine {
+    /// Engine with the given configuration.
+    pub fn new(cfg: EngineConfig) -> Self {
+        Engine {
+            cfg,
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Solve one spec (routes through the cache like a 1-item batch).
+    pub fn solve(&self, apps: &AppSet, platform: &Platform, spec: &ProblemSpec) -> SolveOutcome {
+        let item = BatchItem::new(apps, platform, spec);
+        let ikey = if self.cfg.cache { item.instance_key() } else { None };
+        let mut scratch = RouterScratch::new();
+        self.solve_item(&item, ikey.as_deref(), &mut scratch)
+    }
+
+    /// Solve a batch; `results[i]` answers `items[i]`.
+    pub fn solve_batch(&self, items: &[BatchItem<'_>]) -> Vec<SolveOutcome> {
+        self.solve_batch_with(items, |_, _| {})
+    }
+
+    /// [`Engine::solve_batch`] with a streaming callback, invoked once per
+    /// item — from the worker thread that solved it, as soon as its
+    /// outcome lands (completion order, not item order). The returned
+    /// vector is still index-ordered and identical for every thread count.
+    pub fn solve_batch_with(
+        &self,
+        items: &[BatchItem<'_>],
+        on_result: impl Fn(usize, &SolveOutcome) + Sync,
+    ) -> Vec<SolveOutcome> {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let threads = match self.cfg.threads {
+            0 => std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1),
+            t => t,
+        }
+        .min(n);
+
+        // Instance cache-key parts, computed once per *distinct* instance
+        // (batches routinely share one instance across many specs; keying
+        // must not re-serialize it per item).
+        let instance_keys: Vec<Option<String>> = if self.cfg.cache {
+            let mut by_ptr: HashMap<(usize, usize), Option<String>> = HashMap::new();
+            items
+                .iter()
+                .map(|item| {
+                    let ptrs = (
+                        item.apps as *const AppSet as usize,
+                        item.platform as *const Platform as usize,
+                    );
+                    by_ptr.entry(ptrs).or_insert_with(|| item.instance_key()).clone()
+                })
+                .collect()
+        } else {
+            vec![None; n]
+        };
+
+        if threads == 1 {
+            let mut scratch = RouterScratch::new();
+            return items
+                .iter()
+                .zip(&instance_keys)
+                .enumerate()
+                .map(|(i, (item, ikey))| {
+                    let out = self.solve_item(item, ikey.as_deref(), &mut scratch);
+                    on_result(i, &out);
+                    out
+                })
+                .collect();
+        }
+
+        let cursor = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<SolveOutcome>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        crossbeam::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| {
+                    let mut scratch = RouterScratch::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let out =
+                            self.solve_item(&items[i], instance_keys[i].as_deref(), &mut scratch);
+                        on_result(i, &out);
+                        *slots[i].lock() = Some(out);
+                    }
+                });
+            }
+        })
+        .expect("engine worker panicked");
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every slot filled"))
+            .collect()
+    }
+
+    /// Cache counters so far.
+    pub fn cache_stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Drop every memoized outcome.
+    pub fn clear_cache(&self) {
+        self.cache.lock().clear();
+    }
+
+    fn solve_item(
+        &self,
+        item: &BatchItem<'_>,
+        instance_key: Option<&str>,
+        scratch: &mut RouterScratch,
+    ) -> SolveOutcome {
+        let key = instance_key.and_then(|ik| item.cache_key(ik));
+        if let Some(k) = &key {
+            if let Some(hit) = self.cache.lock().get(k).cloned() {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return hit;
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // The router validates specs and reports failures as typed
+        // outcomes; the catch_unwind is a last-resort guarantee that one
+        // item can never take down a batch.
+        let out = match catch_unwind(AssertUnwindSafe(|| {
+            route_with(item.apps, item.platform, item.spec, scratch)
+        })) {
+            Ok(out) => out,
+            Err(panic) => {
+                // The scratch may hold torn state after an unwind; replace
+                // it before the worker touches the next item.
+                *scratch = RouterScratch::new();
+                let what = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "unknown panic".into());
+                SolveOutcome::Unsupported { reason: format!("solver panicked: {what}") }
+            }
+        };
+        if let Some(k) = key {
+            self.cache.lock().insert(k, out.clone());
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cpo_model::generator::section2_example;
+
+    fn instance() -> (AppSet, Platform) {
+        let (apps, _) = section2_example();
+        (apps, Platform::fully_homogeneous(3, vec![1.0, 3.0, 6.0, 8.0], 1.0).unwrap())
+    }
+
+    #[test]
+    fn single_solve_matches_router() {
+        let (apps, pf) = instance();
+        let spec = ProblemSpec::new(Objective::Energy, Strategy::Interval, CommModel::Overlap)
+            .with_period_bounds(vec![2.0, 2.0]);
+        let engine = Engine::default();
+        let out = engine.solve(&apps, &pf, &spec);
+        assert_eq!(out, cpo_core::route(&apps, &pf, &spec));
+        assert!((out.objective().unwrap() - 46.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cache_answers_repeats() {
+        let (apps, pf) = instance();
+        let spec = ProblemSpec::new(Objective::Period, Strategy::Interval, CommModel::Overlap);
+        let engine = Engine::new(EngineConfig { threads: 1, cache: true });
+        let items = vec![BatchItem::new(&apps, &pf, &spec); 5];
+        let results = engine.solve_batch(&items);
+        assert!(results.windows(2).all(|w| w[0] == w[1]));
+        let stats = engine.cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 4);
+    }
+
+    #[test]
+    fn sequential_and_default_configs_exist() {
+        assert_eq!(EngineConfig::sequential().threads, 1);
+        assert!(!EngineConfig::sequential().cache);
+        assert!(EngineConfig::default().cache);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let engine = Engine::default();
+        assert!(engine.solve_batch(&[]).is_empty());
+    }
+}

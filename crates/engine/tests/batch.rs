@@ -1,0 +1,185 @@
+//! Batch engine guarantees: deterministic, index-ordered results for
+//! every thread count; per-item infeasible/unsupported reporting (a bad
+//! spec never aborts its batch); streaming callbacks covering every item
+//! exactly once; memo-cache hits for repeated specs.
+
+use cpo_core::router;
+use cpo_engine::{BatchItem, Engine, EngineConfig};
+use cpo_model::generator::section2_example;
+use cpo_model::prelude::*;
+use parking_lot::Mutex;
+
+fn instance() -> (AppSet, Platform) {
+    let (apps, _) = section2_example();
+    (apps, Platform::fully_homogeneous(3, vec![1.0, 3.0, 6.0, 8.0], 1.0).unwrap())
+}
+
+/// The acceptance batch: 64 specs mixing every objective, both comm
+/// models, feasible and infeasible bounds, and unsupported combinations.
+fn mixed_specs() -> Vec<ProblemSpec> {
+    let mut specs = Vec::new();
+    for i in 0..64u32 {
+        let comm = if i % 2 == 0 { CommModel::Overlap } else { CommModel::NoOverlap };
+        let spec = match i % 8 {
+            // Energy under a ladder of period bounds (some infeasible).
+            0 | 1 => {
+                let tb = 0.25 * f64::from(i / 8 + 1);
+                ProblemSpec::new(Objective::Energy, Strategy::Interval, comm)
+                    .with_period_bounds(vec![tb, tb])
+            }
+            // Latency under period bounds.
+            2 => {
+                let tb = 0.5 * f64::from(i / 8 + 1);
+                ProblemSpec::new(Objective::Latency, Strategy::Interval, comm)
+                    .with_period_bounds(vec![tb, tb])
+            }
+            // Plain period minimization (cache fodder: two distinct keys
+            // per comm model across the whole batch).
+            3 => ProblemSpec::new(Objective::Period, Strategy::Interval, comm),
+            // Replicated period minimization.
+            4 => ProblemSpec::new(Objective::Period, Strategy::Replicated, comm),
+            // Unsupported: general-mapping energy.
+            5 => ProblemSpec::new(Objective::Energy, Strategy::General, comm)
+                .with_period_bounds(vec![2.0, 2.0]),
+            // Invalid: wrong bound count (must come back unsupported, not
+            // panic the worker).
+            6 => ProblemSpec::new(Objective::Energy, Strategy::Interval, comm)
+                .with_period_bounds(vec![2.0]),
+            // Period/latency front.
+            _ => {
+                let mut s =
+                    ProblemSpec::new(Objective::PeriodLatencyFront, Strategy::Interval, comm);
+                s.hints.sweep_threads = Some(1);
+                s
+            }
+        };
+        specs.push(spec);
+    }
+    specs
+}
+
+#[test]
+fn mixed_batch_of_64_is_deterministic_ordered_and_complete() {
+    let (apps, pf) = instance();
+    let specs = mixed_specs();
+    assert_eq!(specs.len(), 64);
+    let items: Vec<BatchItem<'_>> =
+        specs.iter().map(|s| BatchItem::new(&apps, &pf, s)).collect();
+
+    // Reference: the router, called directly in order.
+    let reference: Vec<SolveOutcome> =
+        specs.iter().map(|s| router::route(&apps, &pf, s)).collect();
+
+    // Every outcome class must actually occur in the batch.
+    assert!(reference.iter().any(|o| matches!(o, SolveOutcome::Solution(_))));
+    assert!(reference.iter().any(|o| matches!(o, SolveOutcome::Front(_))));
+    assert!(reference.iter().any(|o| matches!(o, SolveOutcome::Infeasible { .. })));
+    assert!(reference.iter().any(|o| matches!(o, SolveOutcome::Unsupported { .. })));
+
+    for threads in [1usize, 2, 4, 8] {
+        for cache in [false, true] {
+            let engine = Engine::new(EngineConfig { threads, cache });
+            let results = engine.solve_batch(&items);
+            assert_eq!(results.len(), 64);
+            for (i, (got, want)) in results.iter().zip(&reference).enumerate() {
+                assert_eq!(got, want, "threads={threads} cache={cache} item {i}");
+            }
+        }
+    }
+}
+
+#[test]
+fn per_item_failures_never_abort_the_batch() {
+    // Regression test for the mixed feasible/infeasible contract: the
+    // items around a failing one must still be solved, and the failing
+    // one must carry its own typed outcome.
+    let (apps, pf) = instance();
+    let specs = [
+        ProblemSpec::new(Objective::Energy, Strategy::Interval, CommModel::Overlap)
+            .with_period_bounds(vec![2.0, 2.0]),
+        // Infeasible bounds.
+        ProblemSpec::new(Objective::Energy, Strategy::Interval, CommModel::Overlap)
+            .with_period_bounds(vec![1e-6, 1e-6]),
+        // Unsupported combination.
+        ProblemSpec::new(Objective::Latency, Strategy::General, CommModel::Overlap),
+        // Invalid: bound count mismatch (would assert inside the solver).
+        ProblemSpec::new(Objective::Latency, Strategy::Interval, CommModel::Overlap)
+            .with_period_bounds(vec![1.0, 2.0, 3.0]),
+        ProblemSpec::new(Objective::Period, Strategy::Interval, CommModel::Overlap),
+    ];
+    let items: Vec<BatchItem<'_>> =
+        specs.iter().map(|s| BatchItem::new(&apps, &pf, s)).collect();
+    let results = Engine::new(EngineConfig::sequential()).solve_batch(&items);
+    assert_eq!(results.len(), 5);
+    assert!((results[0].objective().unwrap() - 46.0).abs() < 1e-9);
+    assert!(matches!(&results[1], SolveOutcome::Infeasible { .. }));
+    assert!(matches!(&results[2], SolveOutcome::Unsupported { .. }));
+    match &results[3] {
+        SolveOutcome::Unsupported { reason } => {
+            assert!(reason.contains("3 entries"), "got: {reason}")
+        }
+        other => panic!("expected unsupported for the invalid spec, got {other:?}"),
+    }
+    assert!(matches!(&results[4], SolveOutcome::Solution(_)));
+}
+
+#[test]
+fn streaming_callback_sees_every_item_exactly_once() {
+    let (apps, pf) = instance();
+    let specs = mixed_specs();
+    let items: Vec<BatchItem<'_>> =
+        specs.iter().map(|s| BatchItem::new(&apps, &pf, s)).collect();
+    for threads in [1usize, 4] {
+        let engine = Engine::new(EngineConfig { threads, cache: false });
+        let seen = Mutex::new(vec![0usize; items.len()]);
+        let results = engine.solve_batch_with(&items, |i, out| {
+            seen.lock()[i] += 1;
+            // The streamed outcome is the stored outcome.
+            assert!(!out.kind().is_empty());
+        });
+        assert!(seen.into_inner().iter().all(|&c| c == 1), "threads={threads}");
+        assert_eq!(results.len(), items.len());
+    }
+}
+
+#[test]
+fn cache_spans_batches_and_hits_repeats() {
+    let (apps, pf) = instance();
+    let spec_a = ProblemSpec::new(Objective::Period, Strategy::Interval, CommModel::Overlap);
+    let spec_b = ProblemSpec::new(Objective::Period, Strategy::Interval, CommModel::NoOverlap);
+    let engine = Engine::new(EngineConfig { threads: 1, cache: true });
+    let items: Vec<BatchItem<'_>> = [&spec_a, &spec_b, &spec_a, &spec_a, &spec_b]
+        .iter()
+        .map(|s| BatchItem::new(&apps, &pf, s))
+        .collect();
+    let first = engine.solve_batch(&items);
+    let stats = engine.cache_stats();
+    assert_eq!(stats.misses, 2, "two distinct keys");
+    assert_eq!(stats.hits, 3, "three repeats");
+    // A second batch over the same specs is answered entirely from cache.
+    let second = engine.solve_batch(&items);
+    assert_eq!(first, second);
+    let stats = engine.cache_stats();
+    assert_eq!(stats.misses, 2);
+    assert_eq!(stats.hits, 8);
+    // Different instance ⇒ different key, no false hit.
+    let (apps2, _) = section2_example();
+    let pf2 = Platform::fully_homogeneous(4, vec![1.0, 3.0, 6.0, 8.0], 1.0).unwrap();
+    let other = engine.solve(&apps2, &pf2, &spec_a);
+    assert_eq!(engine.cache_stats().misses, 3, "a different platform is a different key");
+    assert!(other.is_success());
+}
+
+#[test]
+fn batch_results_match_single_solves() {
+    let (apps, pf) = instance();
+    let specs = mixed_specs();
+    let items: Vec<BatchItem<'_>> =
+        specs.iter().map(|s| BatchItem::new(&apps, &pf, s)).collect();
+    let engine = Engine::new(EngineConfig::with_threads(4));
+    let batched = engine.solve_batch(&items);
+    let fresh = Engine::new(EngineConfig::sequential());
+    for (i, spec) in specs.iter().enumerate() {
+        assert_eq!(batched[i], fresh.solve(&apps, &pf, spec), "item {i}");
+    }
+}

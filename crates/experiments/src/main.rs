@@ -11,6 +11,22 @@
 //! * `pareto`  — period/energy trade-off staircases;
 //! * `all`     — everything above, in order (default).
 //!
+//! Plus the typed front door over the problem IR:
+//!
+//! * `solve <spec.json> [--check] [--threads N]` — solve one
+//!   `SolveRequest` (instance + `ProblemSpec`) through the router and
+//!   print the `SolveOutcome` as JSON;
+//! * `batch <specs.jsonl> [--check] [--threads N]` — run a JSONL batch
+//!   through the `cpo_engine` work-stealing pool; one outcome line per
+//!   input line, in input order, never aborting on per-item failures;
+//! * `spec-example [batch]` — print the runnable example request (or the
+//!   mixed feasible/infeasible batch) committed under `examples/specs/`.
+//!
+//! `--check` closes the loop end-to-end: every routed solution is
+//! re-evaluated analytically *and* executed in the discrete-event
+//! simulator, and the measured period/latency/energy must agree with the
+//! reported objective.
+//!
 //! Every experiment is seeded; outputs are the markdown rows recorded in
 //! EXPERIMENTS.md.
 
@@ -935,9 +951,296 @@ fn dump() {
     println!("{json}");
 }
 
+// ---------------------------------------------------------------------------
+// solve / batch: the typed front door (ProblemSpec → router → engine)
+// ---------------------------------------------------------------------------
+
+/// Cross-validate an outcome against its request: analytic re-evaluation
+/// plus a discrete-event simulation of every plain mapping; the measured
+/// values must agree with the reported objective.
+fn check_outcome(req: &SolveRequest, out: &SolveOutcome) -> Result<(), String> {
+    let apps = &req.apps;
+    let pf = &req.platform;
+    let comm = req.problem.comm;
+    // One validation, one analytic evaluation and one simulation per
+    // mapping, however many reported criteria it must agree with.
+    let check_plain = |mapping: &Mapping,
+                       expected: &[(Objective, f64)],
+                       what: &str|
+     -> Result<(), String> {
+        mapping
+            .validate(apps, pf)
+            .map_err(|e| format!("{what}: invalid mapping: {e}"))?;
+        let e = Evaluator::new(apps, pf).evaluate(mapping, comm);
+        if !req.problem.constraints.satisfied_by(&e.periods, &e.latencies, e.energy) {
+            return Err(format!("{what}: solution violates the spec constraints"));
+        }
+        let sim = simulate(apps, pf, mapping, comm, 64);
+        for &(criterion, objective) in expected {
+            let (analytic, measured) = match criterion {
+                Objective::Period => (e.period, sim.period),
+                Objective::Latency => (e.latency, sim.latency),
+                Objective::Energy => (e.energy, sim.power),
+                _ => unreachable!("entries carry scalar criteria"),
+            };
+            if !close(analytic, objective) {
+                return Err(format!(
+                    "{what}: analytic {} {analytic} != reported {objective}",
+                    criterion.name()
+                ));
+            }
+            if !close(measured, objective) {
+                return Err(format!(
+                    "{what}: simulated {} {measured} != reported {objective}",
+                    criterion.name()
+                ));
+            }
+        }
+        Ok(())
+    };
+    match out {
+        SolveOutcome::Solution(s) => match &s.mapping {
+            SolvedMapping::Plain(m) => {
+                check_plain(m, &[(req.problem.objective, s.objective)], "solution")
+            }
+            SolvedMapping::Replicated(m) => {
+                m.validate(apps, pf).map_err(|e| format!("replicated mapping: {e}"))?;
+                let ev = cpo_model::replication::ReplicatedEvaluator::new(apps, pf);
+                let analytic = match req.problem.objective {
+                    Objective::Period => ev.period(m, comm),
+                    Objective::Latency => ev.latency(m),
+                    Objective::Energy => ev.energy(m),
+                    _ => return Err("front outcome with a replicated mapping".into()),
+                };
+                if close(analytic, s.objective) {
+                    Ok(())
+                } else {
+                    Err(format!("replicated: analytic {analytic} != reported {}", s.objective))
+                }
+            }
+            SolvedMapping::General(m) => {
+                m.validate(apps, pf).map_err(|e| format!("general mapping: {e}"))?;
+                let ev = cpo_model::sharing::GeneralEvaluator::new(apps, pf);
+                let analytic = match req.problem.objective {
+                    Objective::Period => ev.period(m, comm),
+                    Objective::Latency => ev.latency(m),
+                    Objective::Energy => ev.energy(m),
+                    _ => return Err("front outcome with a general mapping".into()),
+                };
+                if close(analytic, s.objective) {
+                    Ok(())
+                } else {
+                    Err(format!("general: analytic {analytic} != reported {}", s.objective))
+                }
+            }
+        },
+        SolveOutcome::Front(entries) => {
+            let (primary, secondary) = match req.problem.objective {
+                Objective::PeriodEnergyFront => (Objective::Period, Objective::Energy),
+                Objective::PeriodLatencyFront => (Objective::Period, Objective::Latency),
+                other => return Err(format!("front outcome for {} spec", other.name())),
+            };
+            for (i, entry) in entries.iter().enumerate() {
+                let m = entry
+                    .mapping
+                    .as_plain()
+                    .ok_or_else(|| format!("front point {i}: non-plain mapping"))?;
+                check_plain(
+                    m,
+                    &[(primary, entry.achieved), (secondary, entry.objective)],
+                    &format!("front point {i}"),
+                )?;
+            }
+            Ok(())
+        }
+        SolveOutcome::Infeasible { .. } | SolveOutcome::Unsupported { .. } => Ok(()),
+    }
+}
+
+fn engine_config(threads: Option<usize>) -> cpo_engine::EngineConfig {
+    match threads {
+        Some(n) => cpo_engine::EngineConfig::with_threads(n),
+        None => cpo_engine::EngineConfig::default(),
+    }
+}
+
+fn cmd_solve(path: &str, check: bool, threads: Option<usize>) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read `{path}`: {e}");
+        std::process::exit(2);
+    });
+    let req = SolveRequest::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse `{path}`: {e}");
+        std::process::exit(2);
+    });
+    let engine = cpo_engine::Engine::new(engine_config(threads));
+    let out = engine.solve(&req.apps, &req.platform, &req.problem);
+    println!("{}", out.to_json().expect("outcome serializes"));
+    if check {
+        match check_outcome(&req, &out) {
+            Ok(()) => eprintln!("check: ok ({})", out.kind()),
+            Err(e) => {
+                eprintln!("check: MISMATCH: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
+fn cmd_batch(path: &str, check: bool, threads: Option<usize>) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read `{path}`: {e}");
+        std::process::exit(2);
+    });
+    // A malformed line becomes that line's unsupported outcome — it never
+    // aborts the rest of the batch.
+    let parsed: Vec<Result<SolveRequest, String>> = text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| SolveRequest::from_json(l).map_err(|e| format!("unparseable request: {e}")))
+        .collect();
+    let requests: Vec<&SolveRequest> = parsed.iter().filter_map(|r| r.as_ref().ok()).collect();
+    let items: Vec<cpo_engine::BatchItem<'_>> = requests
+        .iter()
+        .map(|r| cpo_engine::BatchItem::new(&r.apps, &r.platform, &r.problem))
+        .collect();
+    let engine = cpo_engine::Engine::new(engine_config(threads));
+    let solved = engine.solve_batch_with(&items, |i, out| {
+        eprintln!("[{}/{}] {}", i + 1, items.len(), out.kind());
+    });
+    // Stitch solver outcomes back into input order around the parse
+    // failures.
+    let mut solved_iter = solved.into_iter();
+    let outcomes: Vec<SolveOutcome> = parsed
+        .iter()
+        .map(|r| match r {
+            Ok(_) => solved_iter.next().expect("one outcome per request"),
+            Err(reason) => SolveOutcome::Unsupported { reason: reason.clone() },
+        })
+        .collect();
+    let mut mismatches = 0usize;
+    for (i, out) in outcomes.iter().enumerate() {
+        println!("{}", out.to_json_compact().expect("outcome serializes"));
+        if check {
+            if let Ok(req) = &parsed[i] {
+                if let Err(e) = check_outcome(req, out) {
+                    eprintln!("check: item {i} MISMATCH: {e}");
+                    mismatches += 1;
+                }
+            }
+        }
+    }
+    if check {
+        let stats = engine.cache_stats();
+        eprintln!(
+            "check: {} items, {mismatches} mismatches (cache: {} hits / {} misses)",
+            outcomes.len(),
+            stats.hits,
+            stats.misses
+        );
+        if mismatches > 0 {
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The committed example request: the Section 2 energy compromise on the
+/// homogenized platform, solved through the router.
+fn example_request() -> SolveRequest {
+    let (apps, _) = section2_example();
+    let platform = Platform::fully_homogeneous(3, vec![1.0, 3.0, 6.0, 8.0], 1.0).unwrap();
+    let problem = ProblemSpec::new(Objective::Energy, Strategy::Interval, CommModel::Overlap)
+        .with_period_bounds(vec![2.0, 2.0]);
+    SolveRequest::new(
+        "Section 2 energy compromise (energy under period <= 2, homogenized platform)",
+        apps,
+        platform,
+        problem,
+    )
+}
+
+/// The committed example batch: a mix of feasible, infeasible and
+/// unsupported specs over the Section 2 instance, exercising the per-item
+/// failure reporting.
+fn example_batch() -> Vec<SolveRequest> {
+    let (apps, _) = section2_example();
+    let platform = Platform::fully_homogeneous(3, vec![1.0, 3.0, 6.0, 8.0], 1.0).unwrap();
+    let mut reqs = Vec::new();
+    for tb in [1.5, 2.0, 3.0, 6.0] {
+        reqs.push(SolveRequest::new(
+            format!("energy under period <= {tb}"),
+            apps.clone(),
+            platform.clone(),
+            ProblemSpec::new(Objective::Energy, Strategy::Interval, CommModel::Overlap)
+                .with_period_bounds(vec![tb, tb]),
+        ));
+    }
+    reqs.push(SolveRequest::new(
+        "minimum period (interval)",
+        apps.clone(),
+        platform.clone(),
+        ProblemSpec::new(Objective::Period, Strategy::Interval, CommModel::Overlap),
+    ));
+    reqs.push(SolveRequest::new(
+        "minimum period with replication",
+        apps.clone(),
+        platform.clone(),
+        ProblemSpec::new(Objective::Period, Strategy::Replicated, CommModel::Overlap),
+    ));
+    reqs.push(SolveRequest::new(
+        "latency under an unachievable period bound (infeasible)",
+        apps.clone(),
+        platform.clone(),
+        ProblemSpec::new(Objective::Latency, Strategy::Interval, CommModel::Overlap)
+            .with_period_bounds(vec![0.01, 0.01]),
+    ));
+    reqs.push(SolveRequest::new(
+        "energy for a general mapping (unsupported)",
+        apps.clone(),
+        platform.clone(),
+        ProblemSpec::new(Objective::Energy, Strategy::General, CommModel::Overlap)
+            .with_period_bounds(vec![2.0, 2.0]),
+    ));
+    reqs.push(SolveRequest::new(
+        "period/latency front (no-overlap model)",
+        apps,
+        platform,
+        ProblemSpec::new(Objective::PeriodLatencyFront, Strategy::Interval, CommModel::NoOverlap),
+    ));
+    reqs
+}
+
+fn spec_example(which: Option<&str>) {
+    match which {
+        Some("batch") => {
+            for req in example_batch() {
+                println!("{}", req.to_json_compact().expect("serializable"));
+            }
+        }
+        _ => {
+            let req = example_request();
+            let json = req.to_json().expect("serializable");
+            assert_eq!(SolveRequest::from_json(&json).expect("round-trips"), req);
+            println!("{json}");
+        }
+    }
+}
+
 fn main() {
-    let cmd = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
-    match cmd.as_str() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    let check = args.iter().any(|a| a == "--check");
+    let threads = args.iter().position(|a| a == "--threads").map(|i| {
+        match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) if n > 0 => n,
+            _ => {
+                eprintln!("--threads needs a positive integer value");
+                std::process::exit(2);
+            }
+        }
+    });
+    let file = args.get(1).filter(|a| !a.starts_with("--")).cloned();
+    match cmd {
         "fig1" => fig1(),
         "table1" => table1(),
         "table2" => table2(),
@@ -947,6 +1250,21 @@ fn main() {
         "extensions" => extensions(),
         "robustness" => robustness(),
         "dump" => dump(),
+        "solve" => match file {
+            Some(f) => cmd_solve(&f, check, threads),
+            None => {
+                eprintln!("usage: cpo-experiments solve <spec.json> [--check] [--threads N]");
+                std::process::exit(2);
+            }
+        },
+        "batch" => match file {
+            Some(f) => cmd_batch(&f, check, threads),
+            None => {
+                eprintln!("usage: cpo-experiments batch <specs.jsonl> [--check] [--threads N]");
+                std::process::exit(2);
+            }
+        },
+        "spec-example" => spec_example(args.get(1).map(String::as_str)),
         "all" => {
             fig1();
             table1();
@@ -959,7 +1277,13 @@ fn main() {
         }
         other => {
             eprintln!("unknown subcommand `{other}`");
-            eprintln!("usage: cpo-experiments [fig1|table1|table2|gadgets|scaling|pareto|extensions|robustness|dump|all]");
+            eprintln!(
+                "usage: cpo-experiments [fig1|table1|table2|gadgets|scaling|pareto|extensions|\
+                 robustness|dump|all]"
+            );
+            eprintln!("       cpo-experiments solve <spec.json> [--check] [--threads N]");
+            eprintln!("       cpo-experiments batch <specs.jsonl> [--check] [--threads N]");
+            eprintln!("       cpo-experiments spec-example [batch]");
             std::process::exit(2);
         }
     }

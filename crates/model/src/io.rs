@@ -153,6 +153,13 @@ pub mod serde_json_error {
         Ok(v.pretty(0))
     }
 
+    /// Serialize any `Serialize` value to compact single-line JSON — the
+    /// JSONL form used by batch spec files.
+    pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+        let v = super::json_value::to_value(value)?;
+        Ok(v.compact())
+    }
+
     /// Deserialize any `DeserializeOwned` value from JSON text.
     pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T, Error> {
         let v = super::json_value::parse(s)?;
@@ -188,8 +195,28 @@ pub mod json_value {
     impl Value {
         /// Render with 2-space indentation.
         pub fn pretty(&self, indent: usize) -> String {
-            let pad = "  ".repeat(indent);
-            let pad_in = "  ".repeat(indent + 1);
+            self.render(Some(indent))
+        }
+
+        /// Render on one line with no whitespace (JSONL-friendly).
+        pub fn compact(&self) -> String {
+            self.render(None)
+        }
+
+        /// The single renderer behind both styles: `Some(level)` pretty
+        /// prints at that indentation depth, `None` packs one line.
+        fn render(&self, indent: Option<usize>) -> String {
+            let inner = |v: &Value| v.render(indent.map(|i| i + 1));
+            // (open, item prefix, item separator, close) per style.
+            let seams = |open: char, close: char| match indent {
+                Some(i) => (
+                    format!("{open}\n"),
+                    "  ".repeat(i + 1),
+                    ",\n".to_string(),
+                    format!("\n{}{close}", "  ".repeat(i)),
+                ),
+                None => (open.to_string(), String::new(), ",".to_string(), close.to_string()),
+            };
             match self {
                 Value::Null => "null".into(),
                 Value::Bool(b) => b.to_string(),
@@ -199,19 +226,22 @@ pub mod json_value {
                     if items.is_empty() {
                         return "[]".into();
                     }
+                    let (open, pad, sep, close) = seams('[', ']');
                     let body: Vec<String> =
-                        items.iter().map(|v| format!("{pad_in}{}", v.pretty(indent + 1))).collect();
-                    format!("[\n{}\n{pad}]", body.join(",\n"))
+                        items.iter().map(|v| format!("{pad}{}", inner(v))).collect();
+                    format!("{open}{}{close}", body.join(&sep))
                 }
                 Value::Obj(map) => {
                     if map.is_empty() {
                         return "{}".into();
                     }
+                    let (open, pad, sep, close) = seams('{', '}');
+                    let colon = if indent.is_some() { ": " } else { ":" };
                     let body: Vec<String> = map
                         .iter()
-                        .map(|(k, v)| format!("{pad_in}{}: {}", escape(k), v.pretty(indent + 1)))
+                        .map(|(k, v)| format!("{pad}{}{colon}{}", escape(k), inner(v)))
                         .collect();
-                    format!("{{\n{}\n{pad}}}", body.join(",\n"))
+                    format!("{open}{}{close}", body.join(&sep))
                 }
             }
         }

@@ -40,6 +40,7 @@ pub mod objective;
 pub mod platform;
 pub mod replication;
 pub mod sharing;
+pub mod spec;
 
 pub use application::{AppSet, Application, Stage};
 pub use energy::EnergyModel;
@@ -48,6 +49,10 @@ pub use eval::{CommModel, Evaluation, Evaluator};
 pub use mapping::{Assignment, Interval, Mapping};
 pub use objective::{Aggregation, Thresholds};
 pub use platform::{Links, Platform, PlatformClass, Processor};
+pub use spec::{
+    Objective, ProblemSpec, SolveOutcome, SolveRequest, SolvedMapping, SolvedPoint, SolverHints,
+    Strategy,
+};
 
 /// Convenient prelude bringing the whole model vocabulary into scope.
 pub mod prelude {
@@ -58,4 +63,8 @@ pub mod prelude {
     pub use crate::mapping::{Assignment, Interval, Mapping};
     pub use crate::objective::{Aggregation, Thresholds};
     pub use crate::platform::{Links, Platform, PlatformClass, Processor};
+    pub use crate::spec::{
+        FrontEntry, Objective, ProblemSpec, SolveOutcome, SolveRequest, SolvedMapping,
+        SolvedPoint, SolverHints, Strategy,
+    };
 }

@@ -1,0 +1,157 @@
+//! Property tests: the problem IR round-trips through JSON bit-for-bit.
+//!
+//! `ProblemSpec`, `SolveOutcome` (all four variants, all three mapping
+//! kinds) and `SolveRequest` (spec + full instance, including
+//! non-integral f64 works/speeds) must survive
+//! serialize → parse → compare exactly — the shortest-round-trip f64
+//! printing and the hand-rolled JSON parser may not lose a single ULP.
+
+use cpo_model::generator::{
+    random_apps, random_fully_homogeneous, AppGenConfig, PlatformGenConfig,
+};
+use cpo_model::prelude::*;
+use cpo_model::replication::ReplicatedMapping;
+use cpo_model::sharing::GeneralMapping;
+// Explicit import: `proptest::prelude::Strategy` (the trait) would
+// otherwise make the glob-imported spec `Strategy` ambiguous.
+use cpo_model::spec::Strategy;
+use proptest::prelude::*;
+
+fn objective_of(i: u64) -> Objective {
+    [
+        Objective::Period,
+        Objective::Latency,
+        Objective::Energy,
+        Objective::PeriodEnergyFront,
+        Objective::PeriodLatencyFront,
+    ][(i % 5) as usize]
+}
+
+fn strategy_of(i: u64) -> Strategy {
+    [Strategy::OneToOne, Strategy::Interval, Strategy::Replicated, Strategy::General]
+        [(i % 4) as usize]
+}
+
+fn comm_of(i: u64) -> CommModel {
+    if i.is_multiple_of(2) {
+        CommModel::Overlap
+    } else {
+        CommModel::NoOverlap
+    }
+}
+
+/// Awkward but finite f64s: non-terminating binary fractions, tiny and
+/// huge magnitudes, exact integers.
+fn bound_of(i: u64) -> f64 {
+    match i % 6 {
+        0 => (i as f64 + 1.0) / 3.0,
+        1 => 0.1 * (i as f64 + 1.0),
+        2 => (i as f64 + 1.0) * 1e-12,
+        3 => (i as f64 + 1.0) * 1e15,
+        4 => i as f64 + 1.0,
+        _ => std::f64::consts::PI * (i as f64 + 1.0),
+    }
+}
+
+fn spec_of(o: u64, s: u64, c: u64, b: u64, hints: u64) -> ProblemSpec {
+    let mut spec = ProblemSpec::new(objective_of(o), strategy_of(s), comm_of(c));
+    if b.is_multiple_of(2) {
+        spec.constraints.period = Some(vec![bound_of(b), bound_of(b + 1)]);
+    }
+    if b.is_multiple_of(3) {
+        spec.constraints.latency = Some(vec![bound_of(b + 2), bound_of(b + 3)]);
+    }
+    if b.is_multiple_of(5) {
+        spec.constraints.energy = Some(bound_of(b + 4));
+    }
+    spec.hints = SolverHints {
+        exact_fallback: hints & 1 != 0,
+        heuristic_fallback: hints & 2 != 0,
+        sweep_threads: (hints & 4 != 0).then_some((hints % 7) as usize + 1),
+        local_search_iterations: (hints & 8 != 0).then_some((hints % 1000) as usize),
+        seed: (hints & 16 != 0).then_some(hints),
+    };
+    spec
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn problem_spec_roundtrips(o in 0u64..5, s in 0u64..4, c in 0u64..2,
+                               b in 0u64..1_000, hints in 0u64..64) {
+        let spec = spec_of(o, s, c, b, hints);
+        let json = spec.to_json().unwrap();
+        prop_assert_eq!(ProblemSpec::from_json(&json).unwrap(), spec);
+    }
+
+    #[test]
+    fn solve_outcome_roundtrips(seed in 0u64..100_000, kind in 0u64..6) {
+        let mapping = Mapping::new()
+            .with(Interval::new(0, 0, 1), (seed % 3) as usize, 0)
+            .with(Interval::new(1, 0, 0), 3, 1);
+        let outcome = match kind {
+            0 => SolveOutcome::Solution(SolvedPoint {
+                objective: bound_of(seed),
+                mapping: SolvedMapping::Plain(mapping),
+            }),
+            1 => SolveOutcome::Solution(SolvedPoint {
+                objective: bound_of(seed),
+                mapping: SolvedMapping::Replicated(
+                    ReplicatedMapping::new()
+                        .with(Interval::new(0, 0, 1), vec![0, 2], vec![1, 1])
+                        .with(Interval::new(1, 0, 0), vec![1], vec![0]),
+                ),
+            }),
+            2 => SolveOutcome::Solution(SolvedPoint {
+                objective: bound_of(seed),
+                mapping: SolvedMapping::General(
+                    GeneralMapping::new()
+                        .with(Interval::new(0, 0, 1), 0, 1)
+                        .with(Interval::new(1, 0, 0), 0, 1),
+                ),
+            }),
+            3 => SolveOutcome::Front(
+                (0..(seed % 4 + 1))
+                    .map(|i| FrontEntry {
+                        achieved: bound_of(seed + i),
+                        objective: bound_of(seed + i + 7),
+                        mapping: SolvedMapping::Plain(mapping.clone()),
+                    })
+                    .collect(),
+            ),
+            4 => SolveOutcome::Infeasible {
+                reason: format!("no mapping at bound {}", bound_of(seed)),
+            },
+            _ => SolveOutcome::Unsupported {
+                reason: format!("ünsupported \"combo\" #{seed}\n(second line)"),
+            },
+        };
+        let pretty = outcome.to_json().unwrap();
+        prop_assert_eq!(&SolveOutcome::from_json(&pretty).unwrap(), &outcome);
+        let compact = outcome.to_json_compact().unwrap();
+        prop_assert!(!compact.contains('\n'));
+        prop_assert_eq!(&SolveOutcome::from_json(&compact).unwrap(), &outcome);
+    }
+
+    #[test]
+    fn solve_request_roundtrips_with_full_instance(seed in 0u64..100_000) {
+        // Non-integral works/speeds: stress the shortest-round-trip f64
+        // printing with full-precision decimals.
+        let apps = random_apps(
+            &AppGenConfig { apps: 2, stages: (1, 3), integral: false, ..Default::default() },
+            seed,
+        );
+        let platform = random_fully_homogeneous(
+            &PlatformGenConfig { procs: 3, modes: (1, 3), integral: false, ..Default::default() },
+            seed + 1,
+        );
+        let spec = spec_of(seed, seed / 5, seed / 7, seed % 97, seed % 64);
+        let req = SolveRequest::new(format!("instance #{seed}"), apps, platform, spec);
+        let pretty = req.to_json().unwrap();
+        prop_assert_eq!(&SolveRequest::from_json(&pretty).unwrap(), &req);
+        let compact = req.to_json_compact().unwrap();
+        prop_assert!(!compact.contains('\n'));
+        prop_assert_eq!(&SolveRequest::from_json(&compact).unwrap(), &req);
+    }
+}

@@ -6,12 +6,16 @@
 //!
 //! The workspace is organized as:
 //! * [`model`] — applications, platforms, mappings, period/latency/energy
-//!   evaluation, generators and NP-hardness gadgets;
+//!   evaluation, generators, NP-hardness gadgets and the typed problem IR
+//!   (`ProblemSpec` / `SolveOutcome`);
 //! * [`matching`] — bipartite matching substrate (Hungarian, Hopcroft–Karp);
 //! * [`simulator`] — discrete-event and live multi-threaded execution of a
 //!   mapping;
 //! * [`solvers`] — every algorithm of the paper (mono-, bi- and tri-criteria,
-//!   exact baselines, heuristics, Pareto fronts).
+//!   exact baselines, heuristics, Pareto fronts) plus the router dispatching
+//!   `ProblemSpec`s to them;
+//! * [`engine`] — the batched solve engine (work-stealing fan-out, memo
+//!   cache, streaming results) over the router.
 //!
 //! ## Quickstart
 //!
@@ -30,6 +34,7 @@
 //! ```
 
 pub use cpo_core as solvers;
+pub use cpo_engine as engine;
 pub use cpo_matching as matching;
 pub use cpo_model as model;
 pub use cpo_simulator as simulator;
