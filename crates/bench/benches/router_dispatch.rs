@@ -8,9 +8,20 @@
 //!   ladder + latency-under-period + period + an infeasible tail) solved
 //!   by a sequential loop of direct calls vs `cpo_engine` with one
 //!   worker and the cache off (the acceptance gate: < 10% overhead);
-//! * `engine_batch64_par` — the same batch on 4 workers (informational);
+//! * `engine_batch64_par` — the same batch with 4 workers *requested*
+//!   (`with_threads(4)`, same config as the PR 4 baseline row, cache
+//!   on): the adaptive cutoff sees ~2×10⁵ estimated work units (far
+//!   below `DEFAULT_PARALLEL_CUTOFF`) and keeps the batch on the
+//!   calling thread, so the `par ≤ seq` gate validates that light
+//!   batches never pay thread spawn (the row's headroom also benefits
+//!   from the 16 duplicate Period specs hitting the cache — kept
+//!   config-identical to BENCH_PR4.json for comparability);
+//! * `engine_batch64_forced_par` — cutoff disabled *and* cache off: the
+//!   isolated true 4-worker fan-out including its spawn/merge overhead,
+//!   kept measured (informational) so a regression in the threaded path
+//!   itself cannot hide behind the cutoff or the cache;
 //! * `engine_batch64_cached` — the same batch with the memo cache primed
-//!   (the repeated-spec fast path).
+//!   (the repeated-spec fast path over the 128-bit structural keys).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use cpo_bench::{fully_hom_instance, workable_period_bounds};
@@ -105,9 +116,16 @@ fn bench(c: &mut Criterion) {
             engine.solve_batch(black_box(&items)).len()
         })
     });
+    g.bench_function("engine_batch64_forced_par", |b| {
+        b.iter(|| {
+            let engine =
+                Engine::new(EngineConfig { threads: 4, cache: false, min_parallel_cost: 0 });
+            engine.solve_batch(black_box(&items)).len()
+        })
+    });
     // Cache primed once outside the timed loop; the measured iterations
     // are pure cache hits (the repeated-batch serving path).
-    let cached = Engine::new(EngineConfig { threads: 1, cache: true });
+    let cached = Engine::new(EngineConfig::with_threads(1));
     cached.solve_batch(&items);
     g.bench_function("engine_batch64_cached", |b| {
         b.iter(|| cached.solve_batch(black_box(&items)).len())

@@ -1,11 +1,18 @@
-//! SIM — discrete-event simulator throughput: operations processed per
-//! second over growing horizons and chain lengths; validates that the
-//! simulator itself scales linearly in (datasets × stages).
+//! SIM — simulator throughput: data sets processed per second over
+//! growing horizons and chain lengths, on the wavefront core that now
+//! backs `simulate` (heap-free rolling recurrence, certified steady-state
+//! fast-forward), plus a direct wavefront-vs-DAG shootout
+//! (`sim_wavefront_vs_dag/*`) against the retained event-engine oracle.
+//!
+//! The `datasets/1000000` row demonstrates the scale the DAG engine could
+//! not reach (it materializes one heap event per data set × operation);
+//! `fast_forward_1M_dyadic` shows the certified closed-form path
+//! collapsing a million-data-set run to its warm-up.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use cpo_bench::fully_hom_instance;
 use cpo_model::prelude::*;
-use cpo_simulator::simulate;
+use cpo_simulator::{simulate, simulate_reference_dag, simulate_wavefront};
 use rand::prelude::*;
 use std::hint::black_box;
 
@@ -33,7 +40,7 @@ fn bench(c: &mut Criterion) {
     g.measurement_time(std::time::Duration::from_secs(2));
     g.warm_up_time(std::time::Duration::from_millis(300));
     g.sample_size(15);
-    for datasets in [64usize, 256, 1024] {
+    for datasets in [64usize, 256, 1024, 16384, 1_000_000] {
         let (apps, pf) = fully_hom_instance(2, 6, 14, (1, 1));
         let mapping = make_mapping(&apps, &pf, 5);
         g.throughput(Throughput::Elements(datasets as u64));
@@ -48,6 +55,53 @@ fn bench(c: &mut Criterion) {
             b.iter(|| simulate(black_box(&apps), &pf, &mapping, CommModel::NoOverlap, 128))
         });
     }
+    g.finish();
+
+    // Same instance, both cores: the wavefront must beat the event engine
+    // by an order of magnitude while producing bit-identical reports.
+    let mut g = c.benchmark_group("sim_wavefront_vs_dag");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.sample_size(15);
+    let (apps, pf) = fully_hom_instance(2, 6, 14, (1, 1));
+    let mapping = make_mapping(&apps, &pf, 5);
+    let datasets = 1024usize;
+    g.bench_with_input(BenchmarkId::new("wavefront", datasets), &datasets, |b, &d| {
+        b.iter(|| {
+            simulate_wavefront(
+                black_box(&apps),
+                &pf,
+                &mapping,
+                CommModel::Overlap,
+                d,
+                usize::MAX,
+                true,
+            )
+        })
+    });
+    g.bench_with_input(BenchmarkId::new("dag", datasets), &datasets, |b, &d| {
+        b.iter(|| {
+            simulate_reference_dag(black_box(&apps), &pf, &mapping, CommModel::Overlap, d, usize::MAX)
+        })
+    });
+    // Dyadic instance: the lattice certificate fires after a short
+    // warm-up and a million data sets collapse to closed form.
+    let (dyadic_apps, dyadic_pf) = cpo_model::generator::section2_example();
+    let dyadic_mapping = Mapping::new()
+        .with(Interval::new(0, 0, 2), 2, 1)
+        .with(Interval::new(1, 0, 1), 1, 1)
+        .with(Interval::new(1, 2, 3), 0, 1);
+    g.bench_function("fast_forward_1M_dyadic", |b| {
+        b.iter(|| {
+            simulate(
+                black_box(&dyadic_apps),
+                &dyadic_pf,
+                &dyadic_mapping,
+                CommModel::Overlap,
+                1_000_000,
+            )
+        })
+    });
     g.finish();
 }
 

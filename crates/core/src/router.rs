@@ -100,6 +100,62 @@ pub enum Plan {
 }
 
 impl Plan {
+    /// Crude work estimate for this plan on this instance, in abstract
+    /// inner-loop units (roughly nanoseconds on a modern core, accurate
+    /// to an order of magnitude at best). The batch engine sums these to
+    /// decide whether a batch is worth fanning out over worker threads —
+    /// the absolute scale only has to separate "microseconds" from
+    /// "milliseconds", which the leading polynomial terms of each
+    /// theorem's complexity bound do. Exponential fallbacks saturate: a
+    /// single one justifies every thread the engine has.
+    pub fn cost_estimate(&self, apps: &AppSet, platform: &Platform, spec: &ProblemSpec) -> u64 {
+        let a = apps.a() as u64;
+        let n = apps.n_max() as u64;
+        let nt = apps.total_stages() as u64;
+        let p = platform.p() as u64;
+        let q = platform.procs.iter().map(|pr| pr.modes()).max().unwrap_or(1) as u64;
+        let log2 = |x: u64| u64::from(64 - x.max(2).leading_zeros());
+        let m = |xs: &[u64]| xs.iter().copied().fold(1u64, u64::saturating_mul);
+        match self {
+            // Exponential exact baselines: always worth every thread.
+            Plan::PeriodGeneralExact
+            | Plan::EnergyBranchAndBound
+            | Plan::ExactEnumeration => u64::MAX / 4,
+            // Mono-criterion polynomial solvers.
+            Plan::PeriodOneToOne => m(&[nt * p, nt * p, log2(nt * p)]),
+            Plan::PeriodInterval => m(&[a, n, n, p]),
+            Plan::PeriodReplicated => m(&[a, n, n, p, q]),
+            Plan::PeriodGeneralLpt => m(&[nt, p, log2(nt)]),
+            Plan::LatencyOneToOne | Plan::LatencyOneToOneSingleApp => m(&[nt, log2(nt), p]),
+            Plan::LatencyOneToOneGreedy => m(&[nt, p]),
+            Plan::LatencyInterval => m(&[a, n, p]),
+            // Bounded bi-/tri-criteria DPs (binary-search duals pay an
+            // extra log factor folded into the p² term).
+            Plan::LatencyUnderPeriod => m(&[a, n, n, p, q]),
+            Plan::PeriodUnderLatency => m(&[a, n, n, p, p, q]),
+            Plan::PeriodTriUnimodal | Plan::LatencyTriUnimodal | Plan::EnergyTriUnimodal => {
+                m(&[a, n, n, p, p])
+            }
+            Plan::EnergyMatching => {
+                let v = nt.max(p);
+                m(&[v, v, v])
+            }
+            Plan::EnergyInterval => m(&[a, n, n, p, q]),
+            Plan::EnergyReplicated => m(&[a, n, n, n, p, q]),
+            Plan::EnergyLocalSearch => {
+                let iters = spec.hints.local_search_iterations.unwrap_or(10_000) as u64;
+                m(&[iters, nt.max(1)])
+            }
+            // Front sweeps: candidate count × per-candidate solve.
+            Plan::FrontPeriodEnergyInterval => m(&[a, n, p, q, a, n, n, p, q]),
+            Plan::FrontPeriodEnergyOneToOne => {
+                let v = nt.max(p);
+                m(&[a, n, p, q, v, v, v])
+            }
+            Plan::FrontPeriodLatency => m(&[a, n, p, a, n, n, p, q]),
+        }
+    }
+
     /// One-line description (theorem and algorithm) for logs and docs.
     pub fn describe(&self) -> &'static str {
         match self {
@@ -409,6 +465,21 @@ pub fn route_with(
         Ok(p) => p,
         Err(reason) => return SolveOutcome::Unsupported { reason },
     };
+    execute(apps, platform, spec, selected, scratch)
+}
+
+/// Execute an already-selected plan, skipping the re-validation and
+/// re-planning `route_with` would perform. `selected` **must** be the
+/// [`plan`] result for this exact `(apps, platform, spec)` triple —
+/// callers that planned once (e.g. the batch engine's adaptive cutoff)
+/// use this to avoid paying the planner twice per item.
+pub fn route_planned(
+    apps: &AppSet,
+    platform: &Platform,
+    spec: &ProblemSpec,
+    selected: Plan,
+    scratch: &mut RouterScratch,
+) -> SolveOutcome {
     execute(apps, platform, spec, selected, scratch)
 }
 
@@ -745,6 +816,24 @@ mod tests {
         let spec = ProblemSpec::new(Objective::Energy, Strategy::Interval, CommModel::Overlap)
             .with_period_bounds(vec![2.0, 2.0]);
         assert_eq!(plan(&apps, &pf, &spec).unwrap(), Plan::EnergyInterval);
+    }
+
+    #[test]
+    fn cost_estimates_order_cheap_below_heavy() {
+        let (apps, pf) = fully_hom();
+        let spec = ProblemSpec::new(Objective::Period, Strategy::Interval, CommModel::Overlap);
+        let dp = Plan::PeriodInterval.cost_estimate(&apps, &pf, &spec);
+        let front = Plan::FrontPeriodEnergyInterval.cost_estimate(&apps, &pf, &spec);
+        let exact = Plan::ExactEnumeration.cost_estimate(&apps, &pf, &spec);
+        assert!(dp > 0);
+        assert!(front > dp, "a full sweep ({front}) outweighs one DP ({dp})");
+        assert!(exact > front, "exponential baselines saturate");
+        // The estimate never overflows into a small value on big shapes.
+        let wide = Platform::fully_homogeneous(64, vec![1.0; 16], 1.0).unwrap();
+        assert!(
+            Plan::FrontPeriodEnergyInterval.cost_estimate(&apps, &wide, &spec)
+                >= Plan::FrontPeriodEnergyInterval.cost_estimate(&apps, &pf, &spec)
+        );
     }
 
     #[test]

@@ -14,15 +14,29 @@
 //!   that item's [`SolveOutcome`]; a solver panic (which the router's
 //!   validation should make unreachable) is caught and reported as an
 //!   unsupported outcome — a batch never aborts and never panics.
-//! * **Repeated work is memoized.** An instance-keyed cache (spec +
-//!   instance, serialized canonically) returns previously-computed
-//!   outcomes; identical specs in one batch or across batches solve once.
+//! * **Repeated work is memoized.** An instance-keyed cache returns
+//!   previously-computed outcomes; identical specs in one batch or across
+//!   batches solve once. Keys are 128-bit structural digests
+//!   ([`cpo_model::hash`]) — one pass over the instance (computed once
+//!   per distinct instance per batch) plus one over the spec — so a cache
+//!   hit costs nanoseconds where the former canonical-JSON keys cost more
+//!   than many of the solves they skipped. A false hit would need a full
+//!   128-bit collision between two live keys (probability ≈ `k²/2^129`
+//!   for `k` entries — negligible).
+//! * **Threads are earned.** Fanning a batch out only pays off when the
+//!   batch carries real work: worker spawn plus result merging costs tens
+//!   of microseconds, which dwarfs a batch of table-sized DP solves. The
+//!   engine therefore sums a per-item work estimate from each item's
+//!   routed [`Plan`](cpo_core::router::Plan) — counting items already
+//!   answered by the memo cache as zero — and keeps the batch on the
+//!   calling thread below [`EngineConfig::min_parallel_cost`]. Results
+//!   are bitwise identical either way, only the schedule changes.
 //! * **Results stream.** [`Engine::solve_batch_with`] invokes a callback
 //!   as each outcome lands (from the worker that produced it), so callers
 //!   can report progress or forward results while the batch continues.
 
-use cpo_core::router::{route_with, RouterScratch};
-use cpo_model::io::serde_json_error;
+use cpo_core::router::{plan, route_planned, route_with, Plan, RouterScratch};
+use cpo_model::hash::{hash_instance, hash_spec};
 use cpo_model::prelude::*;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -47,22 +61,33 @@ impl<'a> BatchItem<'a> {
         BatchItem { apps, platform, spec }
     }
 
-    /// Canonical instance part of the cache key: compact JSON of apps +
-    /// platform (object keys are sorted by the serializer, so equal
-    /// values always produce equal keys). Computed once per distinct
-    /// instance per batch — see [`Engine::solve_batch_with`].
-    fn instance_key(&self) -> Option<String> {
-        let apps = serde_json_error::to_string(self.apps).ok()?;
-        let platform = serde_json_error::to_string(self.platform).ok()?;
-        Some(format!("{apps}\u{1}{platform}"))
+    /// Instance part of the cache key: a 128-bit structural digest of
+    /// apps + platform. Computed once per *distinct* instance per batch —
+    /// see [`Engine::solve_batch_with`].
+    fn instance_key(&self) -> u128 {
+        hash_instance(self.apps, self.platform)
     }
 
-    /// Full cache key: spec + precomputed instance part.
-    fn cache_key(&self, instance_key: &str) -> Option<String> {
-        let spec = serde_json_error::to_string(self.spec).ok()?;
-        Some(format!("{spec}\u{1}{instance_key}"))
+    /// Full cache key: precomputed instance digest + spec digest.
+    fn cache_key(&self, instance_key: u128) -> CacheKey {
+        (instance_key, hash_spec(self.spec))
     }
+
 }
+
+/// (instance digest, spec digest) — see [`cpo_model::hash`].
+type CacheKey = (u128, u128);
+
+/// A planner verdict computed once by the adaptive cutoff and reused by
+/// the solve (`Err` carries the unsupported-combination reason exactly
+/// as `route_with` would report it).
+type Planned = Result<Plan, String>;
+
+/// Default [`EngineConfig::min_parallel_cost`]: roughly tens of
+/// milliseconds of estimated single-thread work. Below it, spawning
+/// workers demonstrably costs more than it saves (the
+/// `router_dispatch/engine_batch64_*` bench rows gate this).
+pub const DEFAULT_PARALLEL_CUTOFF: u64 = 50_000_000;
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -73,24 +98,39 @@ pub struct EngineConfig {
     pub threads: usize,
     /// Enable the instance-keyed memo cache.
     pub cache: bool,
+    /// Adaptive parallel cutoff: a batch whose summed
+    /// [`Plan::cost_estimate`](cpo_core::router::Plan::cost_estimate)
+    /// falls below this many abstract work units runs on the calling
+    /// thread even when `threads > 1` (the threads would cost more than
+    /// they save). `0` disables the cutoff — `threads` is then honored
+    /// unconditionally. Outcomes are bitwise identical either way.
+    pub min_parallel_cost: u64,
 }
 
 impl Default for EngineConfig {
-    /// One worker per core, cache on.
+    /// One worker per core, cache on, default cutoff.
     fn default() -> Self {
-        EngineConfig { threads: 0, cache: true }
+        EngineConfig { threads: 0, cache: true, min_parallel_cost: DEFAULT_PARALLEL_CUTOFF }
     }
 }
 
 impl EngineConfig {
     /// Sequential, cache off: dispatch overhead only.
     pub fn sequential() -> Self {
-        EngineConfig { threads: 1, cache: false }
+        EngineConfig { threads: 1, cache: false, min_parallel_cost: DEFAULT_PARALLEL_CUTOFF }
     }
 
-    /// Parallel over `threads` workers, cache on.
+    /// Parallel over up to `threads` workers (cutoff permitting), cache
+    /// on.
     pub fn with_threads(threads: usize) -> Self {
-        EngineConfig { threads, cache: true }
+        EngineConfig { threads, cache: true, min_parallel_cost: DEFAULT_PARALLEL_CUTOFF }
+    }
+
+    /// Replace the adaptive parallel cutoff (`0` = always honor
+    /// `threads`).
+    pub fn with_parallel_cutoff(mut self, min_parallel_cost: u64) -> Self {
+        self.min_parallel_cost = min_parallel_cost;
+        self
     }
 }
 
@@ -107,7 +147,7 @@ pub struct CacheStats {
 /// (the memo cache persists and keeps filling).
 pub struct Engine {
     cfg: EngineConfig,
-    cache: Mutex<HashMap<String, SolveOutcome>>,
+    cache: Mutex<HashMap<CacheKey, SolveOutcome>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -132,9 +172,9 @@ impl Engine {
     /// Solve one spec (routes through the cache like a 1-item batch).
     pub fn solve(&self, apps: &AppSet, platform: &Platform, spec: &ProblemSpec) -> SolveOutcome {
         let item = BatchItem::new(apps, platform, spec);
-        let ikey = if self.cfg.cache { item.instance_key() } else { None };
+        let ikey = self.cfg.cache.then(|| item.instance_key());
         let mut scratch = RouterScratch::new();
-        self.solve_item(&item, ikey.as_deref(), &mut scratch)
+        self.solve_item(&item, ikey, None, &mut scratch)
     }
 
     /// Solve a batch; `results[i]` answers `items[i]`.
@@ -155,39 +195,18 @@ impl Engine {
         if n == 0 {
             return Vec::new();
         }
-        let threads = match self.cfg.threads {
-            0 => std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1),
-            t => t,
-        }
-        .min(n);
-
-        // Instance cache-key parts, computed once per *distinct* instance
-        // (batches routinely share one instance across many specs; keying
-        // must not re-serialize it per item).
-        let instance_keys: Vec<Option<String>> = if self.cfg.cache {
-            let mut by_ptr: HashMap<(usize, usize), Option<String>> = HashMap::new();
-            items
-                .iter()
-                .map(|item| {
-                    let ptrs = (
-                        item.apps as *const AppSet as usize,
-                        item.platform as *const Platform as usize,
-                    );
-                    by_ptr.entry(ptrs).or_insert_with(|| item.instance_key()).clone()
-                })
-                .collect()
-        } else {
-            vec![None; n]
-        };
+        let instance_keys = self.instance_keys(items);
+        let (threads, plans) = self.decide_threads(items, &instance_keys);
 
         if threads == 1 {
             let mut scratch = RouterScratch::new();
             return items
                 .iter()
                 .zip(&instance_keys)
+                .zip(&plans)
                 .enumerate()
-                .map(|(i, (item, ikey))| {
-                    let out = self.solve_item(item, ikey.as_deref(), &mut scratch);
+                .map(|(i, ((item, ikey), planned))| {
+                    let out = self.solve_item(item, *ikey, planned.as_ref(), &mut scratch);
                     on_result(i, &out);
                     out
                 })
@@ -206,8 +225,12 @@ impl Engine {
                         if i >= n {
                             break;
                         }
-                        let out =
-                            self.solve_item(&items[i], instance_keys[i].as_deref(), &mut scratch);
+                        let out = self.solve_item(
+                            &items[i],
+                            instance_keys[i],
+                            plans[i].as_ref(),
+                            &mut scratch,
+                        );
                         on_result(i, &out);
                         *slots[i].lock() = Some(out);
                     }
@@ -219,6 +242,95 @@ impl Engine {
             .into_iter()
             .map(|slot| slot.into_inner().expect("every slot filled"))
             .collect()
+    }
+
+    /// The worker count this engine would actually use for `items`: the
+    /// configured `threads` (resolved against the host), capped by the
+    /// batch size, and collapsed to `1` when the batch's summed
+    /// [`Plan`](cpo_core::router::Plan) work estimate falls below the
+    /// adaptive cutoff. Items already answered by the memo cache
+    /// contribute nothing — a fully-cached batch of heavy specs is
+    /// nanoseconds of lookups and never pays a fan-out. Exposed so
+    /// callers (and the determinism tests) can observe the decision
+    /// without timing anything.
+    pub fn effective_threads(&self, items: &[BatchItem<'_>]) -> usize {
+        let keys = self.instance_keys(items);
+        self.decide_threads(items, &keys).0
+    }
+
+    /// Instance cache-key parts, computed once per *distinct* instance
+    /// (batches routinely share one instance across many specs; keying
+    /// must not re-hash it per item). All `None` when the cache is off.
+    fn instance_keys(&self, items: &[BatchItem<'_>]) -> Vec<Option<u128>> {
+        if !self.cfg.cache {
+            return vec![None; items.len()];
+        }
+        let mut by_ptr: HashMap<(usize, usize), u128> = HashMap::new();
+        items
+            .iter()
+            .map(|item| {
+                let ptrs = (
+                    item.apps as *const AppSet as usize,
+                    item.platform as *const Platform as usize,
+                );
+                Some(*by_ptr.entry(ptrs).or_insert_with(|| item.instance_key()))
+            })
+            .collect()
+    }
+
+    /// The cutoff decision behind [`Engine::effective_threads`], reusing
+    /// already-computed instance keys. Also returns the per-item planner
+    /// verdicts it produced along the way (`None` for cached items and
+    /// whenever the cutoff is inactive), so the solve paths never plan an
+    /// item twice.
+    fn decide_threads(
+        &self,
+        items: &[BatchItem<'_>],
+        instance_keys: &[Option<u128>],
+    ) -> (usize, Vec<Option<Planned>>) {
+        let threads = match self.cfg.threads {
+            0 => std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1),
+            t => t,
+        }
+        .min(items.len().max(1));
+        if threads <= 1 || self.cfg.min_parallel_cost == 0 {
+            return (threads, vec![None; items.len()]);
+        }
+        // Snapshot cache membership under one short lock (plain hash
+        // probes), so the planning loop below never blocks concurrent
+        // lookups on this engine.
+        let cached: Vec<bool> = if self.cfg.cache {
+            let cache = self.cache.lock();
+            items
+                .iter()
+                .zip(instance_keys)
+                .map(|(item, ikey)| {
+                    ikey.is_some_and(|ik| cache.contains_key(&item.cache_key(ik)))
+                })
+                .collect()
+        } else {
+            vec![false; items.len()]
+        };
+        let mut estimate = 0u64;
+        let mut plans = Vec::with_capacity(items.len());
+        for (item, &is_cached) in items.iter().zip(&cached) {
+            // Once the cutoff is crossed the decision is final: stop
+            // planning serially and let the workers plan the remaining
+            // items in parallel (`solve_item` falls back to `route_with`
+            // for `None` entries).
+            if is_cached || estimate >= self.cfg.min_parallel_cost {
+                plans.push(None);
+                continue;
+            }
+            let planned = plan(item.apps, item.platform, item.spec);
+            estimate = estimate.saturating_add(match &planned {
+                Ok(p) => p.cost_estimate(item.apps, item.platform, item.spec),
+                // Rejected specs cost one validation.
+                Err(_) => 1_000,
+            });
+            plans.push(Some(planned));
+        }
+        (if estimate >= self.cfg.min_parallel_cost { threads } else { 1 }, plans)
     }
 
     /// Cache counters so far.
@@ -237,10 +349,11 @@ impl Engine {
     fn solve_item(
         &self,
         item: &BatchItem<'_>,
-        instance_key: Option<&str>,
+        instance_key: Option<u128>,
+        planned: Option<&Planned>,
         scratch: &mut RouterScratch,
     ) -> SolveOutcome {
-        let key = instance_key.and_then(|ik| item.cache_key(ik));
+        let key = instance_key.map(|ik| item.cache_key(ik));
         if let Some(k) = &key {
             if let Some(hit) = self.cache.lock().get(k).cloned() {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -251,8 +364,12 @@ impl Engine {
         // The router validates specs and reports failures as typed
         // outcomes; the catch_unwind is a last-resort guarantee that one
         // item can never take down a batch.
-        let out = match catch_unwind(AssertUnwindSafe(|| {
-            route_with(item.apps, item.platform, item.spec, scratch)
+        let out = match catch_unwind(AssertUnwindSafe(|| match planned {
+            // The adaptive cutoff already planned this item; don't pay
+            // the planner twice.
+            Some(Ok(p)) => route_planned(item.apps, item.platform, item.spec, *p, scratch),
+            Some(Err(reason)) => SolveOutcome::Unsupported { reason: reason.clone() },
+            None => route_with(item.apps, item.platform, item.spec, scratch),
         })) {
             Ok(out) => out,
             Err(panic) => {
@@ -299,7 +416,7 @@ mod tests {
     fn cache_answers_repeats() {
         let (apps, pf) = instance();
         let spec = ProblemSpec::new(Objective::Period, Strategy::Interval, CommModel::Overlap);
-        let engine = Engine::new(EngineConfig { threads: 1, cache: true });
+        let engine = Engine::new(EngineConfig::with_threads(1));
         let items = vec![BatchItem::new(&apps, &pf, &spec); 5];
         let results = engine.solve_batch(&items);
         assert!(results.windows(2).all(|w| w[0] == w[1]));

@@ -78,7 +78,9 @@ fn mixed_batch_of_64_is_deterministic_ordered_and_complete() {
 
     for threads in [1usize, 2, 4, 8] {
         for cache in [false, true] {
-            let engine = Engine::new(EngineConfig { threads, cache });
+            // Cutoff 0: genuinely exercise the threaded path even though
+            // the batch is tiny.
+            let engine = Engine::new(EngineConfig { threads, cache, min_parallel_cost: 0 });
             let results = engine.solve_batch(&items);
             assert_eq!(results.len(), 64);
             for (i, (got, want)) in results.iter().zip(&reference).enumerate() {
@@ -130,7 +132,8 @@ fn streaming_callback_sees_every_item_exactly_once() {
     let items: Vec<BatchItem<'_>> =
         specs.iter().map(|s| BatchItem::new(&apps, &pf, s)).collect();
     for threads in [1usize, 4] {
-        let engine = Engine::new(EngineConfig { threads, cache: false });
+        let engine =
+            Engine::new(EngineConfig { threads, cache: false, min_parallel_cost: 0 });
         let seen = Mutex::new(vec![0usize; items.len()]);
         let results = engine.solve_batch_with(&items, |i, out| {
             seen.lock()[i] += 1;
@@ -147,7 +150,7 @@ fn cache_spans_batches_and_hits_repeats() {
     let (apps, pf) = instance();
     let spec_a = ProblemSpec::new(Objective::Period, Strategy::Interval, CommModel::Overlap);
     let spec_b = ProblemSpec::new(Objective::Period, Strategy::Interval, CommModel::NoOverlap);
-    let engine = Engine::new(EngineConfig { threads: 1, cache: true });
+    let engine = Engine::new(EngineConfig::with_threads(1));
     let items: Vec<BatchItem<'_>> = [&spec_a, &spec_b, &spec_a, &spec_a, &spec_b]
         .iter()
         .map(|s| BatchItem::new(&apps, &pf, s))
@@ -168,6 +171,100 @@ fn cache_spans_batches_and_hits_repeats() {
     let other = engine.solve(&apps2, &pf2, &spec_a);
     assert_eq!(engine.cache_stats().misses, 3, "a different platform is a different key");
     assert!(other.is_success());
+}
+
+#[test]
+fn adaptive_cutoff_keeps_results_bitwise_identical() {
+    // The cutoff only changes the schedule, never the outcomes: the same
+    // batch with the cutoff forced off (true 4-thread fan-out), forced on
+    // (sequential), and left at the default must agree bit for bit.
+    let (apps, pf) = instance();
+    let specs = mixed_specs();
+    let items: Vec<BatchItem<'_>> =
+        specs.iter().map(|s| BatchItem::new(&apps, &pf, s)).collect();
+    let parallel = Engine::new(EngineConfig::with_threads(4).with_parallel_cutoff(0));
+    let sequential = Engine::new(EngineConfig::with_threads(4).with_parallel_cutoff(u64::MAX));
+    let default = Engine::new(EngineConfig::with_threads(4));
+    assert_eq!(parallel.effective_threads(&items), 4);
+    assert_eq!(sequential.effective_threads(&items), 1);
+    let a = parallel.solve_batch(&items);
+    let b = sequential.solve_batch(&items);
+    let c = default.solve_batch(&items);
+    assert_eq!(a, b);
+    assert_eq!(a, c);
+}
+
+#[test]
+fn tiny_batches_never_pay_thread_spawn() {
+    // A handful of table-sized DP solves sums far below the default
+    // cutoff: the engine must keep them on the calling thread.
+    let (apps, pf) = instance();
+    let spec = ProblemSpec::new(Objective::Period, Strategy::Interval, CommModel::Overlap);
+    let items = vec![BatchItem::new(&apps, &pf, &spec); 8];
+    let engine = Engine::new(EngineConfig::with_threads(8));
+    assert_eq!(engine.effective_threads(&items), 1, "8 tiny DPs never earn 8 threads");
+
+    // One exponential-fallback item justifies the fan-out on its own.
+    let mut exact = ProblemSpec::new(Objective::Energy, Strategy::Interval, CommModel::Overlap)
+        .with_period_bounds(vec![2.0, 2.0])
+        .with_latency_bounds(vec![1e9, 1e9]);
+    exact.hints.exact_fallback = true;
+    let mut heavy_specs: Vec<ProblemSpec> = vec![spec.clone(); 7];
+    heavy_specs.push(exact);
+    let heavy: Vec<BatchItem<'_>> =
+        heavy_specs.iter().map(|s| BatchItem::new(&apps, &pf, s)).collect();
+    assert_eq!(engine.effective_threads(&heavy), 8);
+
+    // ... but once that batch's outcomes are memoized, re-serving it is
+    // pure cache lookups: the cutoff counts cached items as zero work
+    // and keeps the replay on the calling thread.
+    engine.solve_batch(&heavy);
+    assert_eq!(engine.effective_threads(&heavy), 1, "a fully-cached batch never fans out");
+}
+
+#[test]
+fn cached_batch_is_no_slower_than_uncached() {
+    // The memo-cache regression the structural-hash keys fix: on a batch
+    // dominated by duplicate (instance, spec) pairs, serving hits must
+    // beat re-solving — previously the canonical-JSON keying made the
+    // "cache" *slower* than the sequential no-cache path
+    // (router_dispatch/engine_batch64_cached vs _seq in BENCH_PR4.json).
+    let (apps, pf) = instance();
+    let distinct: Vec<ProblemSpec> = (1..=8)
+        .map(|i| {
+            let tb = 0.5 * i as f64;
+            ProblemSpec::new(Objective::Energy, Strategy::Interval, CommModel::Overlap)
+                .with_period_bounds(vec![tb, tb])
+        })
+        .collect();
+    let items: Vec<BatchItem<'_>> = (0..256)
+        .map(|i| BatchItem::new(&apps, &pf, &distinct[i % distinct.len()]))
+        .collect();
+
+    // Min over interleaved pairs: the minimum is the noise-free estimate
+    // (scheduler preemptions only ever inflate a run), so this ordering
+    // check cannot flake on a loaded CI runner. The gated
+    // `router_dispatch/engine_batch64_cached` bench row tracks the
+    // actual magnitude.
+    let uncached_engine = Engine::new(EngineConfig::sequential());
+    let cached_engine = Engine::new(EngineConfig::with_threads(1));
+    cached_engine.solve_batch(&items); // prime
+    let mut uncached = std::time::Duration::MAX;
+    let mut cached = std::time::Duration::MAX;
+    for _ in 0..7 {
+        let t0 = std::time::Instant::now();
+        assert_eq!(uncached_engine.solve_batch(&items).len(), items.len());
+        uncached = uncached.min(t0.elapsed());
+        let t0 = std::time::Instant::now();
+        assert_eq!(cached_engine.solve_batch(&items).len(), items.len());
+        cached = cached.min(t0.elapsed());
+    }
+    let stats = cached_engine.cache_stats();
+    assert_eq!(stats.misses, 8, "eight distinct keys solve once");
+    assert!(
+        cached <= uncached,
+        "cache hits ({cached:?}) must not lose to re-solving ({uncached:?})"
+    );
 }
 
 #[test]

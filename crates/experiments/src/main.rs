@@ -13,19 +13,22 @@
 //!
 //! Plus the typed front door over the problem IR:
 //!
-//! * `solve <spec.json> [--check] [--threads N]` — solve one
-//!   `SolveRequest` (instance + `ProblemSpec`) through the router and
+//! * `solve <spec.json> [--check] [--threads N] [--datasets N]` — solve
+//!   one `SolveRequest` (instance + `ProblemSpec`) through the router and
 //!   print the `SolveOutcome` as JSON;
-//! * `batch <specs.jsonl> [--check] [--threads N]` — run a JSONL batch
-//!   through the `cpo_engine` work-stealing pool; one outcome line per
-//!   input line, in input order, never aborting on per-item failures;
-//! * `spec-example [batch]` — print the runnable example request (or the
-//!   mixed feasible/infeasible batch) committed under `examples/specs/`.
+//! * `batch <specs.jsonl> [--check] [--threads N] [--datasets N]` — run a
+//!   JSONL batch through the `cpo_engine` work-stealing pool; one outcome
+//!   line per input line, in input order, never aborting on per-item
+//!   failures;
+//! * `spec-example [batch|large]` — print the runnable example request
+//!   (or the mixed feasible/infeasible batch, or the large-scale
+//!   wavefront soak) committed under `examples/specs/`.
 //!
 //! `--check` closes the loop end-to-end: every routed solution is
-//! re-evaluated analytically *and* executed in the discrete-event
-//! simulator, and the measured period/latency/energy must agree with the
-//! reported objective.
+//! re-evaluated analytically *and* executed in the simulator (the
+//! wavefront core) over `--datasets` data sets (default 64; CI soaks the
+//! committed large-scale spec at one million), and the measured
+//! period/latency/energy must agree with the reported objective.
 //!
 //! Every experiment is seeded; outputs are the markdown rows recorded in
 //! EXPERIMENTS.md.
@@ -956,9 +959,10 @@ fn dump() {
 // ---------------------------------------------------------------------------
 
 /// Cross-validate an outcome against its request: analytic re-evaluation
-/// plus a discrete-event simulation of every plain mapping; the measured
-/// values must agree with the reported objective.
-fn check_outcome(req: &SolveRequest, out: &SolveOutcome) -> Result<(), String> {
+/// plus a simulation of every plain mapping over `datasets` data sets
+/// (through the wavefront core backing `simulate`); the measured values
+/// must agree with the reported objective.
+fn check_outcome(req: &SolveRequest, out: &SolveOutcome, datasets: usize) -> Result<(), String> {
     let apps = &req.apps;
     let pf = &req.platform;
     let comm = req.problem.comm;
@@ -975,7 +979,7 @@ fn check_outcome(req: &SolveRequest, out: &SolveOutcome) -> Result<(), String> {
         if !req.problem.constraints.satisfied_by(&e.periods, &e.latencies, e.energy) {
             return Err(format!("{what}: solution violates the spec constraints"));
         }
-        let sim = simulate(apps, pf, mapping, comm, 64);
+        let sim = simulate(apps, pf, mapping, comm, datasets);
         for &(criterion, objective) in expected {
             let (analytic, measured) = match criterion {
                 Objective::Period => (e.period, sim.period),
@@ -1064,7 +1068,7 @@ fn engine_config(threads: Option<usize>) -> cpo_engine::EngineConfig {
     }
 }
 
-fn cmd_solve(path: &str, check: bool, threads: Option<usize>) {
+fn cmd_solve(path: &str, check: bool, threads: Option<usize>, datasets: usize) {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("cannot read `{path}`: {e}");
         std::process::exit(2);
@@ -1077,7 +1081,7 @@ fn cmd_solve(path: &str, check: bool, threads: Option<usize>) {
     let out = engine.solve(&req.apps, &req.platform, &req.problem);
     println!("{}", out.to_json().expect("outcome serializes"));
     if check {
-        match check_outcome(&req, &out) {
+        match check_outcome(&req, &out, datasets) {
             Ok(()) => eprintln!("check: ok ({})", out.kind()),
             Err(e) => {
                 eprintln!("check: MISMATCH: {e}");
@@ -1087,7 +1091,7 @@ fn cmd_solve(path: &str, check: bool, threads: Option<usize>) {
     }
 }
 
-fn cmd_batch(path: &str, check: bool, threads: Option<usize>) {
+fn cmd_batch(path: &str, check: bool, threads: Option<usize>, datasets: usize) {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("cannot read `{path}`: {e}");
         std::process::exit(2);
@@ -1123,7 +1127,7 @@ fn cmd_batch(path: &str, check: bool, threads: Option<usize>) {
         println!("{}", out.to_json_compact().expect("outcome serializes"));
         if check {
             if let Ok(req) = &parsed[i] {
-                if let Err(e) = check_outcome(req, out) {
+                if let Err(e) = check_outcome(req, out, datasets) {
                     eprintln!("check: item {i} MISMATCH: {e}");
                     mismatches += 1;
                 }
@@ -1210,12 +1214,41 @@ fn example_batch() -> Vec<SolveRequest> {
     reqs
 }
 
+/// The committed large-scale request: a wide random instance whose
+/// `--check` pass exercises the wavefront simulator at "millions of data
+/// sets" scale (pair it with `--datasets 1000000` — the DAG engine could
+/// not hold that many events in memory, the wavefront streams them).
+fn example_large() -> SolveRequest {
+    let apps = random_apps(
+        &AppGenConfig { apps: 3, stages: (10, 14), ..Default::default() },
+        2024,
+    );
+    let platform = random_fully_homogeneous(
+        &PlatformGenConfig { procs: apps.total_stages() + 2, modes: (2, 2), ..Default::default() },
+        2025,
+    );
+    let problem = ProblemSpec::new(Objective::Period, Strategy::Interval, CommModel::Overlap);
+    SolveRequest::new(
+        "large-scale throughput study: minimum period over a 3-app, ~36-stage instance \
+         (check with --datasets 1000000 to soak the wavefront simulator)",
+        apps,
+        platform,
+        problem,
+    )
+}
+
 fn spec_example(which: Option<&str>) {
     match which {
         Some("batch") => {
             for req in example_batch() {
                 println!("{}", req.to_json_compact().expect("serializable"));
             }
+        }
+        Some("large") => {
+            let req = example_large();
+            let json = req.to_json().expect("serializable");
+            assert_eq!(SolveRequest::from_json(&json).expect("round-trips"), req);
+            println!("{json}");
         }
         _ => {
             let req = example_request();
@@ -1239,6 +1272,18 @@ fn main() {
             }
         }
     });
+    let datasets = match args.iter().position(|a| a == "--datasets") {
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+            // A single data set has no inter-completion gap: the measured
+            // period would be NaN and every --check would spuriously fail.
+            Some(n) if n >= 2 => n,
+            _ => {
+                eprintln!("--datasets needs an integer value of at least 2");
+                std::process::exit(2);
+            }
+        },
+        None => 64,
+    };
     let file = args.get(1).filter(|a| !a.starts_with("--")).cloned();
     match cmd {
         "fig1" => fig1(),
@@ -1251,16 +1296,22 @@ fn main() {
         "robustness" => robustness(),
         "dump" => dump(),
         "solve" => match file {
-            Some(f) => cmd_solve(&f, check, threads),
+            Some(f) => cmd_solve(&f, check, threads, datasets),
             None => {
-                eprintln!("usage: cpo-experiments solve <spec.json> [--check] [--threads N]");
+                eprintln!(
+                    "usage: cpo-experiments solve <spec.json> [--check] [--threads N] \
+                     [--datasets N]"
+                );
                 std::process::exit(2);
             }
         },
         "batch" => match file {
-            Some(f) => cmd_batch(&f, check, threads),
+            Some(f) => cmd_batch(&f, check, threads, datasets),
             None => {
-                eprintln!("usage: cpo-experiments batch <specs.jsonl> [--check] [--threads N]");
+                eprintln!(
+                    "usage: cpo-experiments batch <specs.jsonl> [--check] [--threads N] \
+                     [--datasets N]"
+                );
                 std::process::exit(2);
             }
         },

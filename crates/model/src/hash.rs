@@ -1,0 +1,391 @@
+//! Cheap, deterministic 128-bit structural hashing of instances and
+//! specs.
+//!
+//! The batch engine memoizes solve outcomes keyed on *(instance, spec)*.
+//! Serializing both to canonical JSON made the key exact but cost more
+//! than many of the solves it was meant to skip; this module replaces it
+//! with a single pass over the structure feeding every scalar (f64 bit
+//! patterns, lengths, enum discriminants) into two independently mixed
+//! 64-bit lanes. The resulting 128-bit digest is:
+//!
+//! * **deterministic across runs and processes** (fixed seeds, no
+//!   `RandomState`), so cache behavior is reproducible;
+//! * **structure-sensitive**: lengths and discriminant tags are hashed
+//!   before their payloads, so `[1.0, 2.0] ++ []` and `[1.0] ++ [2.0]`
+//!   differ, as do `None` and `Some(0)`;
+//! * **collision-safe in practice**: with two independent 64-bit lanes a
+//!   false cache hit needs a full 128-bit collision between two *live*
+//!   keys — probability ≈ `k²/2^129` for `k` cached entries, i.e.
+//!   negligible next to cosmic-ray rates for any feasible cache size.
+//!   (The hash is *not* adversarially secure; the cache is a performance
+//!   device over the caller's own workload, not a trust boundary.)
+
+use crate::application::{AppSet, Application, Stage};
+use crate::eval::CommModel;
+use crate::objective::Thresholds;
+use crate::platform::{Links, Platform, Processor};
+use crate::spec::{Objective, ProblemSpec, SolverHints, Strategy};
+
+/// splitmix64 finalizer: a full-avalanche 64-bit mixer.
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Two-lane structural hasher (see the module docs).
+#[derive(Debug, Clone)]
+pub struct StructuralHasher {
+    a: u64,
+    b: u64,
+}
+
+impl Default for StructuralHasher {
+    fn default() -> Self {
+        StructuralHasher::new()
+    }
+}
+
+impl StructuralHasher {
+    /// Fresh hasher with the fixed seeds.
+    pub fn new() -> Self {
+        StructuralHasher { a: 0x9E37_79B9_7F4A_7C15, b: 0xC2B2_AE3D_27D4_EB4F }
+    }
+
+    /// Feed one 64-bit word.
+    pub fn write_u64(&mut self, v: u64) {
+        self.a = mix(self.a ^ v);
+        self.b = mix(self.b.rotate_left(23) ^ v.wrapping_mul(0xA24B_AED4_963E_E407));
+    }
+
+    /// Feed an f64 by bit pattern (`-0.0 ≠ 0.0`, NaN payloads distinct —
+    /// exactly the distinctions bitwise-deterministic solvers care about).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Feed a length / index.
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Feed a bool.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u64(u64::from(v));
+    }
+
+    /// Feed a string (length-prefixed, 8 bytes per word).
+    pub fn write_str(&mut self, s: &str) {
+        self.write_usize(s.len());
+        for chunk in s.as_bytes().chunks(8) {
+            let mut w = [0u8; 8];
+            w[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(w));
+        }
+    }
+
+    /// Feed an optional f64 (tagged).
+    pub fn write_opt_f64(&mut self, v: Option<f64>) {
+        match v {
+            None => self.write_u64(0),
+            Some(x) => {
+                self.write_u64(1);
+                self.write_f64(x);
+            }
+        }
+    }
+
+    /// Feed an optional f64 slice (tagged + length-prefixed).
+    pub fn write_opt_slice(&mut self, v: Option<&[f64]>) {
+        match v {
+            None => self.write_u64(0),
+            Some(xs) => {
+                self.write_u64(1);
+                self.write_usize(xs.len());
+                for &x in xs {
+                    self.write_f64(x);
+                }
+            }
+        }
+    }
+
+    /// The 128-bit digest.
+    pub fn finish(&self) -> u128 {
+        ((self.a as u128) << 64) | self.b as u128
+    }
+}
+
+/// Types with a stable structural hash (every semantically meaningful
+/// field, in declaration order — mirrors the derived `PartialEq`).
+pub trait StableHash {
+    /// Feed this value into `h`.
+    fn stable_hash(&self, h: &mut StructuralHasher);
+}
+
+impl StableHash for Stage {
+    fn stable_hash(&self, h: &mut StructuralHasher) {
+        h.write_f64(self.work);
+        h.write_f64(self.output);
+    }
+}
+
+impl StableHash for Application {
+    fn stable_hash(&self, h: &mut StructuralHasher) {
+        h.write_f64(self.input);
+        h.write_usize(self.stages.len());
+        for s in &self.stages {
+            s.stable_hash(h);
+        }
+        h.write_f64(self.weight);
+        h.write_str(&self.name);
+    }
+}
+
+impl StableHash for AppSet {
+    fn stable_hash(&self, h: &mut StructuralHasher) {
+        h.write_usize(self.apps.len());
+        for a in &self.apps {
+            a.stable_hash(h);
+        }
+    }
+}
+
+impl StableHash for Processor {
+    fn stable_hash(&self, h: &mut StructuralHasher) {
+        h.write_usize(self.modes());
+        for &s in self.speeds() {
+            h.write_f64(s);
+        }
+        h.write_f64(self.e_stat);
+    }
+}
+
+impl StableHash for Links {
+    fn stable_hash(&self, h: &mut StructuralHasher) {
+        match self {
+            Links::Uniform(b) => {
+                h.write_u64(0);
+                h.write_f64(*b);
+            }
+            Links::PerApp(bs) => {
+                h.write_u64(1);
+                h.write_usize(bs.len());
+                for &b in bs {
+                    h.write_f64(b);
+                }
+            }
+            Links::Heterogeneous { inter, input, output } => {
+                h.write_u64(2);
+                for table in [inter, input, output] {
+                    h.write_usize(table.len());
+                    for row in table {
+                        h.write_usize(row.len());
+                        for &b in row {
+                            h.write_f64(b);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl StableHash for Platform {
+    fn stable_hash(&self, h: &mut StructuralHasher) {
+        h.write_usize(self.procs.len());
+        for p in &self.procs {
+            p.stable_hash(h);
+        }
+        self.links.stable_hash(h);
+    }
+}
+
+impl StableHash for CommModel {
+    fn stable_hash(&self, h: &mut StructuralHasher) {
+        h.write_u64(match self {
+            CommModel::Overlap => 0,
+            CommModel::NoOverlap => 1,
+        });
+    }
+}
+
+impl StableHash for Objective {
+    fn stable_hash(&self, h: &mut StructuralHasher) {
+        h.write_u64(match self {
+            Objective::Period => 0,
+            Objective::Latency => 1,
+            Objective::Energy => 2,
+            Objective::PeriodEnergyFront => 3,
+            Objective::PeriodLatencyFront => 4,
+        });
+    }
+}
+
+impl StableHash for Strategy {
+    fn stable_hash(&self, h: &mut StructuralHasher) {
+        h.write_u64(match self {
+            Strategy::OneToOne => 0,
+            Strategy::Interval => 1,
+            Strategy::Replicated => 2,
+            Strategy::General => 3,
+        });
+    }
+}
+
+impl StableHash for Thresholds {
+    fn stable_hash(&self, h: &mut StructuralHasher) {
+        h.write_opt_slice(self.period.as_deref());
+        h.write_opt_slice(self.latency.as_deref());
+        h.write_opt_f64(self.energy);
+    }
+}
+
+impl StableHash for SolverHints {
+    fn stable_hash(&self, h: &mut StructuralHasher) {
+        h.write_bool(self.exact_fallback);
+        h.write_bool(self.heuristic_fallback);
+        match self.sweep_threads {
+            None => h.write_u64(0),
+            Some(n) => {
+                h.write_u64(1);
+                h.write_usize(n);
+            }
+        }
+        match self.local_search_iterations {
+            None => h.write_u64(0),
+            Some(n) => {
+                h.write_u64(1);
+                h.write_usize(n);
+            }
+        }
+        match self.seed {
+            None => h.write_u64(0),
+            Some(s) => {
+                h.write_u64(1);
+                h.write_u64(s);
+            }
+        }
+    }
+}
+
+impl StableHash for ProblemSpec {
+    fn stable_hash(&self, h: &mut StructuralHasher) {
+        h.write_u64(u64::from(self.version));
+        self.objective.stable_hash(h);
+        self.strategy.stable_hash(h);
+        self.comm.stable_hash(h);
+        self.constraints.stable_hash(h);
+        self.hints.stable_hash(h);
+    }
+}
+
+/// 128-bit digest of an instance (applications + platform).
+pub fn hash_instance(apps: &AppSet, platform: &Platform) -> u128 {
+    let mut h = StructuralHasher::new();
+    apps.stable_hash(&mut h);
+    platform.stable_hash(&mut h);
+    h.finish()
+}
+
+/// 128-bit digest of a problem spec.
+pub fn hash_spec(spec: &ProblemSpec) -> u128 {
+    let mut h = StructuralHasher::new();
+    spec.stable_hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::section2_example;
+
+    fn spec() -> ProblemSpec {
+        ProblemSpec::new(Objective::Energy, Strategy::Interval, CommModel::Overlap)
+            .with_period_bounds(vec![2.0, 2.5])
+    }
+
+    #[test]
+    fn equal_values_hash_equal() {
+        let (apps, pf) = section2_example();
+        assert_eq!(hash_instance(&apps, &pf), hash_instance(&apps.clone(), &pf.clone()));
+        assert_eq!(hash_spec(&spec()), hash_spec(&spec()));
+    }
+
+    #[test]
+    fn every_field_perturbation_changes_the_digest() {
+        let (apps, pf) = section2_example();
+        let base = hash_instance(&apps, &pf);
+
+        let mut w = apps.clone();
+        w.apps[0].stages[0].work += 1.0;
+        assert_ne!(hash_instance(&w, &pf), base);
+
+        let mut o = apps.clone();
+        o.apps[1].stages[2].output += 0.5;
+        assert_ne!(hash_instance(&o, &pf), base);
+
+        let mut wt = apps.clone();
+        wt.apps[0].weight = 2.0;
+        assert_ne!(hash_instance(&wt, &pf), base);
+
+        let mut pm = pf.clone();
+        pm.procs[0].e_stat += 1.0;
+        assert_ne!(hash_instance(&apps, &pm), base);
+
+        let bigger = Platform::fully_homogeneous(pf.p() + 1, vec![1.0, 2.0], 1.0).unwrap();
+        assert_ne!(hash_instance(&apps, &bigger), base);
+    }
+
+    #[test]
+    fn spec_digest_covers_constraints_and_hints() {
+        let base = hash_spec(&spec());
+        let mut s = spec();
+        s.constraints.period = Some(vec![2.0, 2.500000001]);
+        assert_ne!(hash_spec(&s), base);
+        let mut s = spec();
+        s.constraints.energy = Some(10.0);
+        assert_ne!(hash_spec(&s), base);
+        let mut s = spec();
+        s.hints.exact_fallback = true;
+        assert_ne!(hash_spec(&s), base);
+        let mut s = spec();
+        s.hints.sweep_threads = Some(2);
+        assert_ne!(hash_spec(&s), base);
+        let mut s = spec();
+        s.comm = CommModel::NoOverlap;
+        assert_ne!(hash_spec(&s), base);
+        let mut s = spec();
+        s.objective = Objective::Latency;
+        assert_ne!(hash_spec(&s), base);
+    }
+
+    #[test]
+    fn structure_is_not_flattened_away() {
+        // Moving a value across a boundary must change the digest even
+        // though the flat scalar stream would look similar.
+        let mut h1 = StructuralHasher::new();
+        h1.write_opt_slice(Some(&[1.0, 2.0]));
+        h1.write_opt_slice(Some(&[]));
+        let mut h2 = StructuralHasher::new();
+        h2.write_opt_slice(Some(&[1.0]));
+        h2.write_opt_slice(Some(&[2.0]));
+        assert_ne!(h1.finish(), h2.finish());
+
+        let mut h3 = StructuralHasher::new();
+        h3.write_opt_f64(None);
+        let mut h4 = StructuralHasher::new();
+        h4.write_opt_f64(Some(0.0));
+        assert_ne!(h3.finish(), h4.finish());
+    }
+
+    #[test]
+    fn zero_and_negative_zero_differ() {
+        let mut h1 = StructuralHasher::new();
+        h1.write_f64(0.0);
+        let mut h2 = StructuralHasher::new();
+        h2.write_f64(-0.0);
+        assert_ne!(h1.finish(), h2.finish());
+    }
+}

@@ -33,6 +33,7 @@ pub mod error;
 pub mod eval;
 pub mod gadgets;
 pub mod generator;
+pub mod hash;
 pub mod io;
 pub mod mapping;
 pub mod num;

@@ -11,6 +11,7 @@
 //! calendar queue, so the engine also records, per declared resource, the
 //! total busy time (for utilization reports).
 
+use cpo_model::error::ModelError;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
@@ -54,12 +55,10 @@ impl PartialOrd for Scheduled {
 }
 impl Ord for Scheduled {
     fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse for a min-heap; tie-break on op id.
-        other
-            .time
-            .partial_cmp(&self.time)
-            .expect("finite event times")
-            .then(other.op.cmp(&self.op))
+        // Reverse for a min-heap; tie-break on op id. `total_cmp` keeps
+        // the ordering total even on contaminated inputs — [`Engine::run`]
+        // rejects those with a typed error before any event is popped.
+        other.time.total_cmp(&self.time).then(other.op.cmp(&self.op))
     }
 }
 
@@ -86,7 +85,10 @@ impl Engine {
     /// dependencies. Dependencies must already be registered (DAG built in
     /// topological order of declaration).
     pub fn add_op(&mut self, duration: f64, resource: Option<ResourceId>, deps: &[OpId]) -> OpId {
-        assert!(duration >= 0.0 && duration.is_finite(), "operation durations must be finite");
+        // NaN and +∞ are deferred to [`Engine::run`], which reports them
+        // as a typed [`ModelError::NonFiniteData`] instead of panicking.
+        // (`>= || NaN` keeps NaN flowing to the typed check in `run`.)
+        assert!(duration >= 0.0 || duration.is_nan(), "operation durations must be non-negative");
         let id = self.ops.len();
         let mut pending = 0;
         for &d in deps {
@@ -111,10 +113,19 @@ impl Engine {
 
     /// Run the simulation to completion; returns the makespan.
     ///
+    /// Returns [`ModelError::NonFiniteData`] when any registered duration
+    /// is NaN or infinite (e.g. NaN-contaminated stage data that slipped
+    /// past model validation) — the same convention as
+    /// `PeriodTable::partition` in `cpo_core` — instead of panicking
+    /// mid-run on an unordered event time.
+    ///
     /// Panics if the dependency graph is cyclic (some operation never
     /// becomes ready) — impossible for graphs built by
     /// [`crate::pipeline::simulate`].
-    pub fn run(&mut self) -> f64 {
+    pub fn run(&mut self) -> Result<f64, ModelError> {
+        if self.ops.iter().any(|op| !op.duration.is_finite()) {
+            return Err(ModelError::NonFiniteData { what: "simulator operation durations" });
+        }
         let mut heap: BinaryHeap<Scheduled> = BinaryHeap::new();
         // Seed with operations that have no pending dependencies.
         for (id, op) in self.ops.iter().enumerate() {
@@ -148,7 +159,7 @@ impl Engine {
             self.ops[id].dependents = dependents;
         }
         assert_eq!(completed, self.ops.len(), "dependency graph must be acyclic and connected to sources");
-        makespan
+        Ok(makespan)
     }
 
     /// End time of an operation (NaN before [`run`](Engine::run)).
@@ -187,7 +198,7 @@ mod tests {
         let a = e.add_op(2.0, None, &[]);
         let b = e.add_op(3.0, None, &[a]);
         let c = e.add_op(1.0, None, &[b]);
-        assert_eq!(e.run(), 6.0);
+        assert_eq!(e.run().unwrap(), 6.0);
         assert_eq!(e.end_of(a), 2.0);
         assert_eq!(e.start_of(b), 2.0);
         assert_eq!(e.end_of(c), 6.0);
@@ -200,7 +211,7 @@ mod tests {
         let l = e.add_op(5.0, None, &[s]);
         let r = e.add_op(2.0, None, &[s]);
         let j = e.add_op(1.0, None, &[l, r]);
-        assert_eq!(e.run(), 7.0);
+        assert_eq!(e.run().unwrap(), 7.0);
         assert_eq!(e.start_of(j), 6.0);
     }
 
@@ -209,7 +220,7 @@ mod tests {
         let mut e = Engine::new();
         let a = e.add_op(4.0, None, &[]);
         let b = e.add_op(2.0, None, &[]);
-        assert_eq!(e.run(), 4.0);
+        assert_eq!(e.run().unwrap(), 4.0);
         assert_eq!(e.start_of(a), 0.0);
         assert_eq!(e.start_of(b), 0.0);
     }
@@ -220,7 +231,7 @@ mod tests {
         let r = e.add_resource();
         let a = e.add_op(2.0, Some(r), &[]);
         let _b = e.add_op(3.0, Some(r), &[a]);
-        e.run();
+        e.run().unwrap();
         assert_eq!(e.busy(r), 5.0);
     }
 
@@ -229,7 +240,7 @@ mod tests {
         let mut e = Engine::new();
         let a = e.add_op(0.0, None, &[]);
         let b = e.add_op(0.0, None, &[a]);
-        assert_eq!(e.run(), 0.0);
+        assert_eq!(e.run().unwrap(), 0.0);
         assert_eq!(e.end_of(b), 0.0);
     }
 
@@ -241,6 +252,24 @@ mod tests {
     }
 
     #[test]
+    fn nan_duration_is_a_typed_error_not_a_panic() {
+        let mut e = Engine::new();
+        let a = e.add_op(1.0, None, &[]);
+        let _ = e.add_op(f64::NAN, None, &[a]);
+        assert_eq!(
+            e.run(),
+            Err(ModelError::NonFiniteData { what: "simulator operation durations" })
+        );
+    }
+
+    #[test]
+    fn infinite_duration_is_a_typed_error_too() {
+        let mut e = Engine::new();
+        let _ = e.add_op(f64::INFINITY, None, &[]);
+        assert!(matches!(e.run(), Err(ModelError::NonFiniteData { .. })));
+    }
+
+    #[test]
     fn determinism_under_ties() {
         // Two identical runs produce identical schedules.
         let build = || {
@@ -248,7 +277,7 @@ mod tests {
             let a = e.add_op(1.0, None, &[]);
             let b = e.add_op(1.0, None, &[]);
             let c = e.add_op(1.0, None, &[a, b]);
-            e.run();
+            e.run().unwrap();
             (e.start_of(a), e.start_of(b), e.start_of(c))
         };
         assert_eq!(build(), build());

@@ -60,25 +60,8 @@ fn jittered_run(
     for (a, app) in apps.apps.iter().enumerate() {
         let chain = mapping.app_chain(a);
         let m = chain.len();
-        let base_transfer: Vec<f64> = (0..=m)
-            .map(|j| {
-                if j == 0 {
-                    app.input / platform.bw_input(a, chain[0].proc)
-                } else if j == m {
-                    app.result_size() / platform.bw_output(a, chain[m - 1].proc)
-                } else {
-                    app.input_of(chain[j].interval.first)
-                        / platform.bw_inter(a, chain[j - 1].proc, chain[j].proc)
-                }
-            })
-            .collect();
-        let base_compute: Vec<f64> = chain
-            .iter()
-            .map(|asg| {
-                app.interval_work(asg.interval.first, asg.interval.last)
-                    / platform.procs[asg.proc].speed(asg.mode)
-            })
-            .collect();
+        let (base_transfer, base_compute) =
+            crate::pipeline::chain_durations(app, a, platform, &chain);
         let mut jig = |d: f64| {
             if d == 0.0 || epsilon == 0.0 {
                 d
@@ -123,7 +106,7 @@ fn jittered_run(
         }
         per_app_outputs.push(outputs);
     }
-    engine.run();
+    engine.run().expect("jittered durations are finite");
 
     let mut period = 0.0f64;
     let mut latency = 0.0f64;

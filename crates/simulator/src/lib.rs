@@ -4,8 +4,13 @@
 //! (Eqs. 3–5). This crate closes the loop by actually **executing**
 //! mappings:
 //!
+//! * [`wavefront`] — the hot path: a flat SoA rolling recurrence over the
+//!   regular (data set × operation) grid that interval mappings induce,
+//!   with certified steady-state fast-forward — bitwise identical to the
+//!   event engine at a fraction of the cost;
 //! * [`engine`] — a deterministic discrete-event engine (calendar queue
-//!   over a dependency DAG of operations);
+//!   over a dependency DAG of operations), kept for irregular DAGs and as
+//!   the oracle the wavefront is proved against;
 //! * [`pipeline`] — the pipelined execution of a mapping: every data set
 //!   flows through receive → compute → send operations whose dependency
 //!   structure encodes the overlap / no-overlap semantics of Section 3.2;
@@ -23,9 +28,13 @@ pub mod jitter;
 pub mod live;
 pub mod pipeline;
 pub mod trace;
+pub mod wavefront;
 
 pub use engine::{Engine, OpId};
 pub use live::{LivePipeline, LiveReport};
-pub use pipeline::{simulate, simulate_with_buffers, AppTimes, OpMeta, SimReport};
+pub use pipeline::{
+    simulate, simulate_reference_dag, simulate_with_buffers, AppTimes, OpMeta, SimReport,
+};
 pub use jitter::{jitter_analysis, JitterReport};
 pub use trace::{simulate_traced, Trace, TraceEntry};
+pub use wavefront::{simulate_wavefront, SteadyState};

@@ -1,10 +1,11 @@
-//! Pipelined execution of a mapping as a discrete-event simulation.
+//! Pipelined execution of a mapping.
 //!
 //! Every data set `d` of application `a` traverses the chain of interval
 //! assignments: a *transfer* along each link (including the `P_in_a` input
 //! edge and the `P_out_a` output edge) and a *compute* on each enrolled
-//! processor. The dependency DAG encodes the paper's scheduling semantics
-//! (Section 3.3, "each operation is executed as soon as possible"):
+//! processor. The dependency structure encodes the paper's scheduling
+//! semantics (Section 3.3, "each operation is executed as soon as
+//! possible"):
 //!
 //! * a transfer waits for the producer's compute of the same data set and
 //!   for the previous transfer on the same link (links are serial);
@@ -15,12 +16,24 @@
 //!   send are serialized), which is exactly one extra dependency per
 //!   transfer.
 //!
+//! [`simulate`] and [`simulate_with_buffers`] execute that structure
+//! through the flat [`crate::wavefront`] recurrence — heap-free,
+//! `O(stages)` state, with certified steady-state fast-forward. The
+//! original event-by-event build over [`crate::engine::Engine`] remains
+//! available as [`simulate_reference_dag`]: it is the oracle the
+//! wavefront is proved bitwise identical to
+//! (`tests/wavefront_equivalence.rs`), and the backend
+//! [`crate::trace::simulate_traced`] uses when per-operation intervals
+//! are requested.
+//!
 //! With a saturated source (all data sets available at `t = 0`), the
 //! measured steady-state inter-completion gap converges to the analytic
 //! period (Eqs. 3/4) and the first data set's completion time equals the
 //! analytic latency (Eq. 5) — the integration tests assert both.
 
 use crate::engine::Engine;
+use crate::wavefront::{simulate_wavefront, SteadyState};
+use cpo_model::mapping::Assignment;
 use cpo_model::prelude::*;
 
 /// Timing results for one application.
@@ -33,6 +46,10 @@ pub struct AppTimes {
     /// Average inter-completion gap over the second half of the run
     /// (steady state).
     pub measured_period: f64,
+    /// The wavefront core's certified steady-state fast-forward, when it
+    /// fired (`None` on DAG-engine runs and on instances whose arithmetic
+    /// could not be certified exact — see [`crate::wavefront`]).
+    pub steady_state: Option<SteadyState>,
 }
 
 /// Full simulation report.
@@ -71,6 +88,11 @@ impl SimReport {
 /// Simulate `datasets` data sets of every application through `mapping`
 /// with unbounded inter-stage buffers (the paper's model).
 ///
+/// Runs on the flat wavefront core (`O(datasets × stages)` worst case,
+/// `O(warm-up × stages)` when the steady state certifies — bitwise
+/// identical results either way, and bitwise identical to
+/// [`simulate_reference_dag`]).
+///
 /// Panics if the mapping is invalid (call [`Mapping::validate`] first when
 /// unsure) or `datasets == 0`.
 pub fn simulate(
@@ -95,6 +117,23 @@ pub fn simulate(
 /// receive-bound processors. `capacity = usize::MAX` recovers the paper's
 /// semantics exactly.
 pub fn simulate_with_buffers(
+    apps: &AppSet,
+    platform: &Platform,
+    mapping: &Mapping,
+    model: CommModel,
+    datasets: usize,
+    capacity: usize,
+) -> SimReport {
+    simulate_wavefront(apps, platform, mapping, model, datasets, capacity, true)
+}
+
+/// The original discrete-event build over the generic
+/// [`Engine`](crate::engine::Engine): one heap event per
+/// `(data set × operation)`. Kept as the independently-implemented oracle
+/// the wavefront core is proved against, and for irregular extensions the
+/// grid recurrence cannot express. Same semantics and panics as
+/// [`simulate_with_buffers`].
+pub fn simulate_reference_dag(
     apps: &AppSet,
     platform: &Platform,
     mapping: &Mapping,
@@ -131,6 +170,79 @@ pub enum OpMeta {
     },
 }
 
+/// Per-edge transfer durations (`m + 1` entries, input edge first, output
+/// edge last) and per-node compute durations (`m` entries) of one
+/// application's chain — the duration vocabulary both simulator cores
+/// share.
+pub(crate) fn chain_durations(
+    app: &cpo_model::application::Application,
+    a: usize,
+    platform: &Platform,
+    chain: &[Assignment],
+) -> (Vec<f64>, Vec<f64>) {
+    let m = chain.len();
+    let transfer: Vec<f64> = (0..=m)
+        .map(|j| {
+            if j == 0 {
+                app.input / platform.bw_input(a, chain[0].proc)
+            } else if j == m {
+                app.result_size() / platform.bw_output(a, chain[m - 1].proc)
+            } else {
+                app.input_of(chain[j].interval.first)
+                    / platform.bw_inter(a, chain[j - 1].proc, chain[j].proc)
+            }
+        })
+        .collect();
+    let compute: Vec<f64> = chain
+        .iter()
+        .map(|asg| {
+            app.interval_work(asg.interval.first, asg.interval.last)
+                / platform.procs[asg.proc].speed(asg.mode)
+        })
+        .collect();
+    (transfer, compute)
+}
+
+/// Average inter-completion gap over the second half of the run (NaN for
+/// a single data set) — the shared steady-state period estimator.
+pub(crate) fn measured_period(completions: &[f64]) -> f64 {
+    if completions.len() >= 2 {
+        let lo = completions.len() / 2;
+        let hi = completions.len() - 1;
+        if hi > lo {
+            (completions[hi] - completions[lo]) / (hi - lo) as f64
+        } else {
+            completions[hi] - completions[hi - 1]
+        }
+    } else {
+        f64::NAN
+    }
+}
+
+/// Fold per-application timings into the report (weighted period/latency,
+/// power of the enrolled processors) — shared by both simulator cores.
+pub(crate) fn assemble_report(
+    apps: &AppSet,
+    platform: &Platform,
+    mapping: &Mapping,
+    app_times: Vec<AppTimes>,
+    busy: Vec<f64>,
+    makespan: f64,
+) -> SimReport {
+    let period = app_times
+        .iter()
+        .zip(&apps.apps)
+        .map(|(t, app)| app.weight * t.measured_period)
+        .fold(0.0, cpo_model::num::fmax);
+    let latency = app_times
+        .iter()
+        .zip(&apps.apps)
+        .map(|(t, app)| app.weight * t.first_latency)
+        .fold(0.0, cpo_model::num::fmax);
+    let power = EnergyModel::default().mapping_energy(mapping, platform);
+    SimReport { apps: app_times, period, latency, power, makespan, busy }
+}
+
 pub(crate) fn build_and_run(
     apps: &AppSet,
     platform: &Platform,
@@ -150,26 +262,7 @@ pub(crate) fn build_and_run(
     for (a, app) in apps.apps.iter().enumerate() {
         let chain = mapping.app_chain(a);
         let m = chain.len();
-        // Durations.
-        let transfer_time: Vec<f64> = (0..=m)
-            .map(|j| {
-                if j == 0 {
-                    app.input / platform.bw_input(a, chain[0].proc)
-                } else if j == m {
-                    app.result_size() / platform.bw_output(a, chain[m - 1].proc)
-                } else {
-                    app.input_of(chain[j].interval.first)
-                        / platform.bw_inter(a, chain[j - 1].proc, chain[j].proc)
-                }
-            })
-            .collect();
-        let compute_time: Vec<f64> = chain
-            .iter()
-            .map(|asg| {
-                app.interval_work(asg.interval.first, asg.interval.last)
-                    / platform.procs[asg.proc].speed(asg.mode)
-            })
-            .collect();
+        let (transfer_time, compute_time) = chain_durations(app, a, platform, &chain);
 
         // Operation ids of the previous data set, plus the full compute
         // history per node for the bounded-buffer dependency.
@@ -224,40 +317,24 @@ pub(crate) fn build_and_run(
         per_app_outputs.push(outputs);
     }
 
-    let makespan = engine.run();
+    let makespan = engine.run().expect("validated mappings have finite durations");
 
     let mut app_times = Vec::with_capacity(apps.a());
     for outputs in &per_app_outputs {
         let completions: Vec<f64> = outputs.iter().map(|&op| engine.end_of(op)).collect();
         let first_latency = completions[0];
-        let measured_period = if completions.len() >= 2 {
-            let lo = completions.len() / 2;
-            let hi = completions.len() - 1;
-            if hi > lo {
-                (completions[hi] - completions[lo]) / (hi - lo) as f64
-            } else {
-                completions[hi] - completions[hi - 1]
-            }
-        } else {
-            f64::NAN
-        };
-        app_times.push(AppTimes { completions, first_latency, measured_period });
+        let period = measured_period(&completions);
+        app_times.push(AppTimes {
+            completions,
+            first_latency,
+            measured_period: period,
+            steady_state: None,
+        });
     }
 
-    let period = app_times
-        .iter()
-        .zip(&apps.apps)
-        .map(|(t, app)| app.weight * t.measured_period)
-        .fold(0.0, cpo_model::num::fmax);
-    let latency = app_times
-        .iter()
-        .zip(&apps.apps)
-        .map(|(t, app)| app.weight * t.first_latency)
-        .fold(0.0, cpo_model::num::fmax);
-    let power = EnergyModel::default().mapping_energy(mapping, platform);
     let busy = (0..platform.p()).map(|u| engine.busy(u)).collect();
-
-    (SimReport { apps: app_times, period, latency, power, makespan, busy }, engine, meta)
+    let report = assemble_report(apps, platform, mapping, app_times, busy, makespan);
+    (report, engine, meta)
 }
 
 #[cfg(test)]
@@ -418,6 +495,30 @@ mod tests {
     fn zero_capacity_rejected() {
         let (apps, pf) = section2_example();
         let _ = simulate_with_buffers(&apps, &pf, &period_mapping(), CommModel::Overlap, 4, 0);
+    }
+
+    #[test]
+    fn wavefront_and_dag_agree_bitwise_on_the_section2_example() {
+        let (apps, pf) = section2_example();
+        let m = period_mapping();
+        for model in [CommModel::Overlap, CommModel::NoOverlap] {
+            for capacity in [usize::MAX, 1, 3] {
+                let wf = simulate_with_buffers(&apps, &pf, &m, model, 48, capacity);
+                let dag = simulate_reference_dag(&apps, &pf, &m, model, 48, capacity);
+                assert_eq!(wf.period.to_bits(), dag.period.to_bits());
+                assert_eq!(wf.latency.to_bits(), dag.latency.to_bits());
+                assert_eq!(wf.makespan.to_bits(), dag.makespan.to_bits());
+                for (a, b) in wf.busy.iter().zip(&dag.busy) {
+                    assert_eq!(a.to_bits(), b.to_bits());
+                }
+                for (wa, da) in wf.apps.iter().zip(&dag.apps) {
+                    assert_eq!(wa.completions.len(), da.completions.len());
+                    for (x, y) in wa.completions.iter().zip(&da.completions) {
+                        assert_eq!(x.to_bits(), y.to_bits());
+                    }
+                }
+            }
+        }
     }
 
     #[test]
