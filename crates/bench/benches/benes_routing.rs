@@ -1,0 +1,110 @@
+//! BENES — multistage interconnect overhead: what the `CommTopology`
+//! layer costs where it is actually exercised.
+//!
+//! * `benes_route/*` — latency of the looping algorithm computing a full
+//!   rearrangement (switch settings + certificate) for permutations of
+//!   growing port counts, and of the round decomposition on an irregular
+//!   (non-permutation) flow multiset;
+//! * `benes_contention_sim/*` — simulator throughput on a multistage
+//!   platform vs its dedicated twin at matched sizes: the fabric pays
+//!   one `fabric_rounds` certificate per run plus the per-edge overhead
+//!   adds, and must stay in the same performance class (the wavefront
+//!   fast path remains eligible — valid plain mappings route in one
+//!   round). The hop latency is dyadic (`2^-4`) so the steady-state
+//!   fast-forward lattice certificate stays live on the fabric too;
+//!   a non-representable latency would silently demote the comparison
+//!   to fast-forward-vs-full-run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use cpo_bench::fully_hom_instance;
+use cpo_matching::BenesNetwork;
+use cpo_model::prelude::*;
+use cpo_simulator::simulate;
+use rand::prelude::*;
+use std::hint::black_box;
+
+fn make_mapping(apps: &AppSet, platform: &Platform, seed: u64) -> Mapping {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut procs: Vec<usize> = (0..platform.p()).collect();
+    procs.shuffle(&mut rng);
+    let mut mapping = Mapping::new();
+    let mut next = 0usize;
+    for (a, app) in apps.apps.iter().enumerate() {
+        let mut first = 0usize;
+        while first < app.n() {
+            let last = rng.gen_range(first..app.n());
+            let u = procs[next];
+            next += 1;
+            mapping.push(Interval::new(a, first, last), u, 0);
+            first = last + 1;
+        }
+    }
+    mapping
+}
+
+/// The dedicated platform's multistage twin: same processors, a fabric
+/// whose links carry the same uniform bandwidth.
+fn fabric_twin(dedicated: &Platform, hop_latency: f64) -> Platform {
+    let b = match dedicated.links {
+        Links::Uniform(b) => b,
+        _ => unreachable!("bench twins use uniform links"),
+    };
+    Platform::multistage(dedicated.procs.clone(), MultistageNetwork::new(b, hop_latency).unwrap())
+        .unwrap()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("benes_route");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.sample_size(20);
+    for ports in [8usize, 64, 256] {
+        let net = BenesNetwork::new(ports);
+        // Worst-case-ish full permutation: bit-reversal-free rotation so
+        // every flow crosses subnetworks.
+        let dest: Vec<Option<usize>> =
+            (0..ports).map(|u| Some((u + ports / 2 + 1) % ports)).collect();
+        g.throughput(Throughput::Elements(ports as u64));
+        g.bench_with_input(BenchmarkId::new("permutation", ports), &ports, |b, _| {
+            b.iter(|| net.route(black_box(&dest)))
+        });
+    }
+    // Irregular multiset: every flow shares one hot source and one hot
+    // sink, forcing the exact edge-coloring round decomposition.
+    for flows in [16usize, 128] {
+        let net = BenesNetwork::new(256);
+        let multiset: Vec<(usize, usize)> =
+            (0..flows).map(|i| (i % 8, 255 - (i % 4))).collect();
+        g.throughput(Throughput::Elements(flows as u64));
+        g.bench_with_input(BenchmarkId::new("rounds_irregular", flows), &flows, |b, _| {
+            b.iter(|| net.route_rounds(black_box(&multiset)))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("benes_contention_sim");
+    g.measurement_time(std::time::Duration::from_secs(2));
+    g.warm_up_time(std::time::Duration::from_millis(300));
+    g.sample_size(15);
+    let datasets = 4096usize;
+    for (a, n, p) in [(2usize, 6usize, 14usize), (3, 10, 32)] {
+        let (apps, dedicated) = fully_hom_instance(a, n, p, (1, 1));
+        let fabric = fabric_twin(&dedicated, 0.0625);
+        let mapping = make_mapping(&apps, &dedicated, 5);
+        g.throughput(Throughput::Elements(datasets as u64));
+        g.bench_with_input(
+            BenchmarkId::new("dedicated", format!("{a}x{n}s{p}p")),
+            &datasets,
+            |b, &d| b.iter(|| simulate(black_box(&apps), &dedicated, &mapping, CommModel::Overlap, d)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("multistage", format!("{a}x{n}s{p}p")),
+            &datasets,
+            |b, &d| b.iter(|| simulate(black_box(&apps), &fabric, &mapping, CommModel::Overlap, d)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

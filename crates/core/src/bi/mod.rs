@@ -6,22 +6,18 @@ pub mod period_energy;
 pub mod period_latency;
 
 use crate::dp::{HomCtx, IntervalCostTable};
-use cpo_model::platform::{Links, Platform, PlatformClass};
+use cpo_model::platform::{Platform, PlatformClass};
 use cpo_model::prelude::*;
 
-/// Shared speed set and uniform bandwidth of a fully homogeneous platform;
-/// `None` when the platform class is wrong (the interval solvers of
-/// Theorems 15/16/18/21 only apply to fully homogeneous platforms).
-pub(crate) fn fully_hom_params(platform: &Platform) -> Option<(Vec<f64>, f64)> {
+/// Shared speed set of a fully homogeneous platform; `None` when the
+/// platform class is wrong (the interval solvers of Theorems 15/16/18/21
+/// only apply to fully homogeneous platforms). The per-application
+/// communication structure comes from [`Platform::uniform_comm`].
+pub(crate) fn fully_hom_params(platform: &Platform) -> Option<Vec<f64>> {
     if platform.class() != PlatformClass::FullyHomogeneous {
         return None;
     }
-    let b = match &platform.links {
-        Links::Uniform(b) => *b,
-        Links::PerApp(bs) => bs[0],
-        Links::Heterogeneous { .. } => return None,
-    };
-    Some((platform.procs[0].speeds().to_vec(), b))
+    Some(platform.procs[0].speeds().to_vec())
 }
 
 /// Build one [`IntervalCostTable`] per application for a fully homogeneous
@@ -54,23 +50,23 @@ fn interval_cost_tables_inner(
     model: CommModel,
     lean: bool,
 ) -> Option<Vec<IntervalCostTable>> {
-    let (speeds, b) = fully_hom_params(platform)?;
+    let speeds = fully_hom_params(platform)?;
     if platform.p() < apps.a() {
         return None;
     }
     let e_stat = platform.procs[0].e_stat;
-    Some(
-        apps.apps
-            .iter()
-            .map(|app| {
-                let mut ctx = HomCtx::new(app, &speeds, b, model);
-                ctx.e_stat = e_stat;
-                if lean {
-                    IntervalCostTable::build_lean(&ctx)
-                } else {
-                    IntervalCostTable::build(&ctx)
-                }
+    apps.apps
+        .iter()
+        .enumerate()
+        .map(|(a, app)| {
+            let comm = platform.uniform_comm(a)?;
+            let mut ctx = HomCtx::with_comm(app, &speeds, comm, model);
+            ctx.e_stat = e_stat;
+            Some(if lean {
+                IntervalCostTable::build_lean(&ctx)
+            } else {
+                IntervalCostTable::build(&ctx)
             })
-            .collect(),
-    )
+        })
+        .collect()
 }

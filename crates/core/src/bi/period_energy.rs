@@ -82,10 +82,19 @@ impl StageCostTable {
         let mut stage_ids = Vec::with_capacity(n_total);
         let mut cycle = Vec::with_capacity(n_total * total_modes);
         for (a, app) in apps.apps.iter().enumerate() {
-            let b = crate::mono::app_bandwidth(platform, a)?;
-            for k in 0..app.n() {
-                let incoming = app.input_of(k) / b;
-                let outgoing = app.output_of(k) / b;
+            let comm = crate::mono::uniform_comm(platform, a)?;
+            let n = app.n();
+            for k in 0..n {
+                let incoming = if k == 0 {
+                    comm.io_time(app.input_of(k))
+                } else {
+                    comm.inter_time(app.input_of(k))
+                };
+                let outgoing = if k + 1 == n {
+                    comm.io_time(app.output_of(k))
+                } else {
+                    comm.inter_time(app.output_of(k))
+                };
                 for u in 0..p {
                     let proc = &platform.procs[u];
                     for m in 0..proc.modes() {

@@ -67,6 +67,10 @@ pub struct HomCtx<'a> {
     pub e_stat: f64,
     /// Uniform link bandwidth `b`.
     pub bandwidth: f64,
+    /// Per-transfer latency of **inter-processor** edges (a multistage
+    /// fabric's stage traversal; `0.0` on dedicated links). The chain's
+    /// external input/output edges never pay it.
+    pub comm_overhead: f64,
     /// Communication model (overlap / no-overlap).
     pub model: CommModel,
     /// Energy model (`α`).
@@ -74,9 +78,32 @@ pub struct HomCtx<'a> {
 }
 
 impl<'a> HomCtx<'a> {
-    /// Context with the default energy model.
+    /// Context with the default energy model (dedicated uniform links —
+    /// zero inter-processor overhead).
     pub fn new(app: &'a Application, speeds: &'a [f64], bandwidth: f64, model: CommModel) -> Self {
-        HomCtx { app, speeds, e_stat: 0.0, bandwidth, model, energy: EnergyModel::default() }
+        HomCtx {
+            app,
+            speeds,
+            e_stat: 0.0,
+            bandwidth,
+            comm_overhead: 0.0,
+            model,
+            energy: EnergyModel::default(),
+        }
+    }
+
+    /// Context over an explicit uniform communication structure
+    /// (bandwidth + inter-processor overhead), e.g. from
+    /// [`cpo_model::Platform::uniform_comm`].
+    pub fn with_comm(
+        app: &'a Application,
+        speeds: &'a [f64],
+        comm: cpo_model::topology::UniformComm,
+        model: CommModel,
+    ) -> Self {
+        let mut ctx = HomCtx::new(app, speeds, comm.bandwidth, model);
+        ctx.comm_overhead = comm.inter_overhead;
+        ctx
     }
 
     /// Highest available speed.
@@ -85,12 +112,40 @@ impl<'a> HomCtx<'a> {
         *self.speeds.last().expect("non-empty speed set")
     }
 
+    /// Incoming transfer time of an interval starting at stage `lo`:
+    /// `input_of(lo)/b`, plus the inter-processor overhead when the edge
+    /// comes from a predecessor interval (`lo > 0`) rather than `P_in`.
+    /// The add is gated so the zero-overhead case stays the bare
+    /// division, bit for bit.
+    #[inline]
+    pub fn in_time(&self, lo: usize) -> f64 {
+        let t = self.app.input_of(lo) / self.bandwidth;
+        if lo > 0 && self.comm_overhead != 0.0 {
+            t + self.comm_overhead
+        } else {
+            t
+        }
+    }
+
+    /// Outgoing transfer time of an interval ending at stage `hi`:
+    /// `output_of(hi)/b`, plus the inter-processor overhead when the edge
+    /// feeds a successor interval (`hi + 1 < n`) rather than `P_out`.
+    #[inline]
+    pub fn out_time(&self, hi: usize) -> f64 {
+        let t = self.app.output_of(hi) / self.bandwidth;
+        if hi + 1 < self.app.n() && self.comm_overhead != 0.0 {
+            t + self.comm_overhead
+        } else {
+            t
+        }
+    }
+
     /// Cycle-time of the interval `[lo, hi]` (0-based inclusive) at `speed`.
     #[inline]
     pub fn cycle(&self, lo: usize, hi: usize, speed: f64) -> f64 {
-        let incoming = self.app.input_of(lo) / self.bandwidth;
+        let incoming = self.in_time(lo);
         let compute = self.app.interval_work(lo, hi) / speed;
-        let outgoing = self.app.output_of(hi) / self.bandwidth;
+        let outgoing = self.out_time(hi);
         self.model.combine(incoming, compute, outgoing)
     }
 
@@ -99,7 +154,7 @@ impl<'a> HomCtx<'a> {
     /// separately, Eq. 5).
     #[inline]
     pub fn latency_term(&self, lo: usize, hi: usize, speed: f64) -> f64 {
-        self.app.interval_work(lo, hi) / speed + self.app.output_of(hi) / self.bandwidth
+        self.app.interval_work(lo, hi) / speed + self.out_time(hi)
     }
 
     /// Cheapest mode running `[lo, hi]` within period `t_bound`:
@@ -184,10 +239,10 @@ impl IntervalCostTable {
             // Hoist the per-lo and per-cell operands: same exact float
             // expressions as `ctx.cycle`/`ctx.latency_term`, computed once
             // instead of once per mode.
-            let incoming = ctx.app.input_of(lo) / ctx.bandwidth;
+            let incoming = ctx.in_time(lo);
             for hi in lo..n {
                 let work = ctx.app.interval_work(lo, hi);
-                let outgoing = ctx.app.output_of(hi) / ctx.bandwidth;
+                let outgoing = ctx.out_time(hi);
                 let base = (lo * n + hi) * modes;
                 for (m, &s) in ctx.speeds.iter().enumerate() {
                     cycle[base + m] = ctx.model.combine(incoming, work / s, outgoing);
@@ -219,8 +274,8 @@ impl IntervalCostTable {
             // `interval_work(0, k-1)` = prefix[k] − 0.0 = prefix[k] exactly.
             work_prefix.push(ctx.app.interval_work(0, k - 1));
         }
-        let in_edge = (0..n).map(|k| ctx.app.input_of(k) / ctx.bandwidth).collect();
-        let out_edge = (0..n).map(|k| ctx.app.output_of(k) / ctx.bandwidth).collect();
+        let in_edge = (0..n).map(|k| ctx.in_time(k)).collect();
+        let out_edge = (0..n).map(|k| ctx.out_time(k)).collect();
         IntervalCostTable {
             n,
             modes: ctx.speeds.len(),
@@ -228,7 +283,7 @@ impl IntervalCostTable {
             mode_energy,
             cycle,
             latency_top,
-            input_edge: ctx.app.input_of(0) / ctx.bandwidth,
+            input_edge: ctx.in_time(0),
             work_prefix,
             top_speed: ctx.max_speed(),
             speeds: ctx.speeds.to_vec(),

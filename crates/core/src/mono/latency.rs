@@ -45,8 +45,14 @@ pub fn min_latency_one_to_one_fully_hom(apps: &AppSet, platform: &Platform) -> O
 /// `s` (communication homogeneous platform).
 fn whole_chain_latency(apps: &AppSet, platform: &Platform, a: usize, s: f64) -> Option<f64> {
     let app = &apps.apps[a];
-    let b = super::app_bandwidth(platform, a)?;
-    Some(app.weight * (app.input / b + app.total_work() / s + app.result_size() / b))
+    // A whole chain on one processor only crosses the `P_in` and `P_out`
+    // front-end links; no inter-processor edge exists, so no multistage
+    // traversal overhead applies.
+    let comm = super::uniform_comm(platform, a)?;
+    Some(
+        app.weight
+            * (comm.io_time(app.input) + app.total_work() / s + comm.io_time(app.result_size())),
+    )
 }
 
 /// Theorem 12: interval latency minimization on a communication homogeneous

@@ -7,19 +7,20 @@ pub mod period_interval;
 pub mod period_one_to_one;
 
 use cpo_model::platform::{Links, Platform};
+use cpo_model::topology::UniformComm;
 
-/// Bandwidth seen by application `app` on a link-homogeneous platform
-/// (uniform or per-application links). `None` on fully heterogeneous links.
-pub(crate) fn app_bandwidth(platform: &Platform, app: usize) -> Option<f64> {
-    match &platform.links {
-        Links::Uniform(b) => Some(*b),
-        Links::PerApp(bs) => bs.get(app).copied(),
-        Links::Heterogeneous { .. } => None,
-    }
+/// Uniform communication structure seen by application `app`: a single
+/// bandwidth plus the inter-processor transfer overhead (zero on
+/// dedicated links, the stage-traversal latency on a multistage fabric).
+/// `None` on fully heterogeneous links.
+pub(crate) fn uniform_comm(platform: &Platform, app: usize) -> Option<UniformComm> {
+    platform.uniform_comm(app)
 }
 
 /// Check the platform qualifies as communication homogeneous for the
-/// Theorem 1 / 12 greedy algorithms (uniform or per-application links).
+/// Theorem 1 / 12 greedy algorithms: uniform or per-application dedicated
+/// links, or any multistage fabric (whose links are identical by
+/// construction).
 pub(crate) fn links_are_homogeneous(platform: &Platform) -> bool {
-    !matches!(platform.links, Links::Heterogeneous { .. })
+    platform.is_multistage() || !matches!(platform.links, Links::Heterogeneous { .. })
 }

@@ -49,7 +49,6 @@ pub fn minimize_global_period(
         return None;
     }
     let speeds = platform.procs[0].speeds().to_vec();
-    let b = super::app_bandwidth(platform, 0)?;
 
     // Per-application period tables, computed once up to the maximum number
     // of processors any application could receive, sharing one DP scratch.
@@ -58,11 +57,13 @@ pub fn minimize_global_period(
     let tables: Vec<PeriodTable> = apps
         .apps
         .iter()
-        .map(|app| {
-            let ctx = HomCtx::new(app, &speeds, b, model);
-            period_table_with(&IntervalCostTable::build(&ctx), qmax, &mut scratch)
+        .enumerate()
+        .map(|(a, app)| {
+            let comm = super::uniform_comm(platform, a)?;
+            let ctx = HomCtx::with_comm(app, &speeds, comm, model);
+            Some(period_table_with(&IntervalCostTable::build(&ctx), qmax, &mut scratch))
         })
-        .collect();
+        .collect::<Option<Vec<_>>>()?;
     let weights: Vec<f64> = apps.apps.iter().map(|a| a.weight).collect();
 
     let alloc = allocate_processors(a_count, p, &weights, |a, q| tables[a].best[q - 1])?;

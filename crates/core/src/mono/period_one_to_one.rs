@@ -77,17 +77,31 @@ pub fn min_period_one_to_one_comm_hom(
         return None;
     }
 
-    // Prepare per-stage costs.
+    // Prepare per-stage costs. Edge times come from the uniform comm
+    // structure: the chain-boundary edges (`P_in`/`P_out`) are plain
+    // `δ/b`, interior edges add the topology's inter-processor overhead
+    // (zero on dedicated links — bitwise the same division as before).
     let mut stages = Vec::with_capacity(n_total);
     for (a, app) in apps.apps.iter().enumerate() {
-        let b = super::app_bandwidth(platform, a)?;
-        for k in 0..app.n() {
+        let comm = super::uniform_comm(platform, a)?;
+        let n = app.n();
+        for k in 0..n {
+            let incoming = if k == 0 {
+                comm.io_time(app.input_of(k))
+            } else {
+                comm.inter_time(app.input_of(k))
+            };
+            let outgoing = if k + 1 == n {
+                comm.io_time(app.output_of(k))
+            } else {
+                comm.inter_time(app.output_of(k))
+            };
             stages.push(StageCost {
                 app: a,
                 stage: k,
                 weight: app.weight,
-                incoming: app.input_of(k) / b,
-                outgoing: app.output_of(k) / b,
+                incoming,
+                outgoing,
                 work: app.stages[k].work,
             });
         }

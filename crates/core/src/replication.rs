@@ -179,6 +179,13 @@ pub fn minimize_global_period_replicated(
     if p < a_count {
         return None;
     }
+    // Replication multiplexes one logical edge over several physical
+    // routes; on a shared multistage fabric that breaks the
+    // partial-permutation property the Benes routing certificate relies
+    // on, so the replicated solvers stay dedicated-links only.
+    if platform.is_multistage() {
+        return None;
+    }
     let speeds = platform.procs[0].speeds().to_vec();
     let b = match &platform.links {
         cpo_model::platform::Links::Uniform(b) => *b,
@@ -241,6 +248,10 @@ pub fn min_energy_replicated_under_period(
     let p = platform.p();
     let a_count = apps.a();
     if p < a_count {
+        return None;
+    }
+    // Same dedicated-links-only gate as `minimize_global_period_replicated`.
+    if platform.is_multistage() {
         return None;
     }
     let speeds = platform.procs[0].speeds().to_vec();

@@ -43,7 +43,7 @@ use crate::heuristics::{local_search, LocalSearchConfig};
 use crate::pareto::{period_energy_front_with, period_latency_front_with};
 use crate::solution::{Criterion, MappingKind, Solution};
 use crate::sweep::Sweep;
-use cpo_matching::{CostMatrix, HungarianWorkspace};
+use cpo_matching::{BenesNetwork, CostMatrix, HungarianWorkspace};
 use cpo_model::prelude::*;
 use cpo_model::spec::FrontEntry;
 
@@ -97,6 +97,99 @@ pub enum Plan {
     FrontPeriodEnergyOneToOne,
     /// Pruned parallel sweep: period/latency front, interval mappings.
     FrontPeriodLatency,
+    /// A base plan on a `CommTopology::Multistage` platform: run the base
+    /// solver (whose cost tables already carry the fabric traversal
+    /// overhead), then certify that the mapping's inter-processor flow
+    /// pattern routes contention-free through the Benes network. Plain
+    /// interval/one-to-one mappings always form a partial permutation, so
+    /// the certificate is a checked invariant; a failure surfaces as
+    /// [`SolveOutcome::Unsupported`], never a panic.
+    Benes(BenesBase),
+}
+
+/// The base algorithms that remain sound on a multistage fabric — every
+/// plan except the replicated and general-mapping families, whose
+/// processor sharing / replication breaks the partial-permutation property
+/// the Benes routing certificate relies on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BenesBase {
+    PeriodOneToOne,
+    PeriodInterval,
+    PeriodUnderLatency,
+    PeriodTriUnimodal,
+    LatencyOneToOne,
+    LatencyOneToOneSingleApp,
+    LatencyOneToOneGreedy,
+    LatencyInterval,
+    LatencyUnderPeriod,
+    LatencyTriUnimodal,
+    EnergyMatching,
+    EnergyInterval,
+    EnergyTriUnimodal,
+    EnergyBranchAndBound,
+    EnergyLocalSearch,
+    ExactEnumeration,
+    FrontPeriodEnergyInterval,
+    FrontPeriodEnergyOneToOne,
+    FrontPeriodLatency,
+}
+
+impl BenesBase {
+    /// The wrapped base plan.
+    pub fn base_plan(self) -> Plan {
+        match self {
+            BenesBase::PeriodOneToOne => Plan::PeriodOneToOne,
+            BenesBase::PeriodInterval => Plan::PeriodInterval,
+            BenesBase::PeriodUnderLatency => Plan::PeriodUnderLatency,
+            BenesBase::PeriodTriUnimodal => Plan::PeriodTriUnimodal,
+            BenesBase::LatencyOneToOne => Plan::LatencyOneToOne,
+            BenesBase::LatencyOneToOneSingleApp => Plan::LatencyOneToOneSingleApp,
+            BenesBase::LatencyOneToOneGreedy => Plan::LatencyOneToOneGreedy,
+            BenesBase::LatencyInterval => Plan::LatencyInterval,
+            BenesBase::LatencyUnderPeriod => Plan::LatencyUnderPeriod,
+            BenesBase::LatencyTriUnimodal => Plan::LatencyTriUnimodal,
+            BenesBase::EnergyMatching => Plan::EnergyMatching,
+            BenesBase::EnergyInterval => Plan::EnergyInterval,
+            BenesBase::EnergyTriUnimodal => Plan::EnergyTriUnimodal,
+            BenesBase::EnergyBranchAndBound => Plan::EnergyBranchAndBound,
+            BenesBase::EnergyLocalSearch => Plan::EnergyLocalSearch,
+            BenesBase::ExactEnumeration => Plan::ExactEnumeration,
+            BenesBase::FrontPeriodEnergyInterval => Plan::FrontPeriodEnergyInterval,
+            BenesBase::FrontPeriodEnergyOneToOne => Plan::FrontPeriodEnergyOneToOne,
+            BenesBase::FrontPeriodLatency => Plan::FrontPeriodLatency,
+        }
+    }
+
+    /// The Benes wrapping of `plan`, or `None` when the plan's mapping
+    /// class (replicated / general) is incompatible with the fabric.
+    fn of(plan: Plan) -> Option<BenesBase> {
+        Some(match plan {
+            Plan::PeriodOneToOne => BenesBase::PeriodOneToOne,
+            Plan::PeriodInterval => BenesBase::PeriodInterval,
+            Plan::PeriodUnderLatency => BenesBase::PeriodUnderLatency,
+            Plan::PeriodTriUnimodal => BenesBase::PeriodTriUnimodal,
+            Plan::LatencyOneToOne => BenesBase::LatencyOneToOne,
+            Plan::LatencyOneToOneSingleApp => BenesBase::LatencyOneToOneSingleApp,
+            Plan::LatencyOneToOneGreedy => BenesBase::LatencyOneToOneGreedy,
+            Plan::LatencyInterval => BenesBase::LatencyInterval,
+            Plan::LatencyUnderPeriod => BenesBase::LatencyUnderPeriod,
+            Plan::LatencyTriUnimodal => BenesBase::LatencyTriUnimodal,
+            Plan::EnergyMatching => BenesBase::EnergyMatching,
+            Plan::EnergyInterval => BenesBase::EnergyInterval,
+            Plan::EnergyTriUnimodal => BenesBase::EnergyTriUnimodal,
+            Plan::EnergyBranchAndBound => BenesBase::EnergyBranchAndBound,
+            Plan::EnergyLocalSearch => BenesBase::EnergyLocalSearch,
+            Plan::ExactEnumeration => BenesBase::ExactEnumeration,
+            Plan::FrontPeriodEnergyInterval => BenesBase::FrontPeriodEnergyInterval,
+            Plan::FrontPeriodEnergyOneToOne => BenesBase::FrontPeriodEnergyOneToOne,
+            Plan::FrontPeriodLatency => BenesBase::FrontPeriodLatency,
+            Plan::PeriodReplicated
+            | Plan::EnergyReplicated
+            | Plan::PeriodGeneralExact
+            | Plan::PeriodGeneralLpt
+            | Plan::Benes(_) => return None,
+        })
+    }
 }
 
 impl Plan {
@@ -153,6 +246,12 @@ impl Plan {
                 m(&[a, n, p, q, v, v, v])
             }
             Plan::FrontPeriodLatency => m(&[a, n, p, a, n, n, p, q]),
+            // Base solve plus one Benes routing certificate: the looping
+            // algorithm is O(p log p) per routed round.
+            Plan::Benes(base) => base
+                .base_plan()
+                .cost_estimate(apps, platform, spec)
+                .saturating_add(m(&[p, log2(p)])),
         }
     }
 
@@ -182,6 +281,33 @@ impl Plan {
             Plan::FrontPeriodEnergyInterval => "pruned sweep over Thm 18/21",
             Plan::FrontPeriodEnergyOneToOne => "pruned sweep over Thm 19",
             Plan::FrontPeriodLatency => "pruned sweep over Thm 15/16",
+            Plan::Benes(base) => base.base_plan().describe_benes(),
+        }
+    }
+
+    /// [`Plan::describe`] for the Benes-certified wrapping of `self`.
+    fn describe_benes(&self) -> &'static str {
+        match self {
+            Plan::PeriodOneToOne => "Thm 1 + Benes routing certificate",
+            Plan::PeriodInterval => "Thm 3 + Benes routing certificate",
+            Plan::PeriodUnderLatency => "Thm 16 dual + Benes routing certificate",
+            Plan::PeriodTriUnimodal => "Thm 24 + Benes routing certificate",
+            Plan::LatencyOneToOne => "Thm 8 + Benes routing certificate",
+            Plan::LatencyOneToOneSingleApp => "rearrangement pairing + Benes certificate",
+            Plan::LatencyOneToOneGreedy => "greedy heuristic + Benes routing certificate",
+            Plan::LatencyInterval => "Thm 12 + Benes routing certificate",
+            Plan::LatencyUnderPeriod => "Thm 15/16 + Benes routing certificate",
+            Plan::LatencyTriUnimodal => "Thm 24 + Benes routing certificate",
+            Plan::EnergyMatching => "Thm 19 + Benes routing certificate",
+            Plan::EnergyInterval => "Thm 18/21 + Benes routing certificate",
+            Plan::EnergyTriUnimodal => "Thm 24 + Benes routing certificate",
+            Plan::EnergyBranchAndBound => "Thm 26/27 B&B + Benes routing certificate",
+            Plan::EnergyLocalSearch => "local search + Benes routing certificate",
+            Plan::ExactEnumeration => "exhaustive enumeration + Benes certificate",
+            Plan::FrontPeriodEnergyInterval
+            | Plan::FrontPeriodEnergyOneToOne
+            | Plan::FrontPeriodLatency => "pruned sweep + Benes routing certificates",
+            _ => "Benes-certified base solve",
         }
     }
 }
@@ -209,13 +335,45 @@ impl RouterScratch {
 
 /// Validate `spec` against the instance and select the solver. `Err` holds
 /// the human-readable unsupported/invalid reason.
+///
+/// On a `CommTopology::Multistage` platform the selected base plan comes
+/// back wrapped as [`Plan::Benes`]; replicated and general-mapping specs
+/// are rejected there with the hardness-aware reason (their traffic is no
+/// longer a partial permutation, so the rearrangeability guarantee — and
+/// with it the solvers' contention-free cost model — does not apply).
 pub fn plan(apps: &AppSet, platform: &Platform, spec: &ProblemSpec) -> Result<Plan, String> {
     spec.validate(apps).map_err(|e| format!("invalid spec: {e}"))?;
+    // Instance-assembly check: a `PerApp` bandwidth vector (or
+    // heterogeneous input/output matrix) too short for this application
+    // count used to panic deep inside the bandwidth accessors; it is a
+    // typed unsupported reason now.
+    platform
+        .validate_for_apps(apps.a())
+        .map_err(|e| format!("platform cannot serve this instance: {e}"))?;
+    let base = plan_base(apps, platform, spec)?;
+    if !platform.is_multistage() {
+        return Ok(base);
+    }
+    match BenesBase::of(base) {
+        Some(b) => Ok(Plan::Benes(b)),
+        None => Err(format!(
+            "no solver for {} / {} on a multistage fabric: replicated and general mappings \
+             multiplex several flows per processor, so the traffic is not a partial permutation \
+             and the Benes rearrangeability certificate (contention factor 1) does not apply",
+            spec.objective.name(),
+            spec.strategy.name()
+        )),
+    }
+}
+
+/// The topology-agnostic planner body: selects the base algorithm from
+/// `(instance shape, platform class, spec)`.
+fn plan_base(apps: &AppSet, platform: &Platform, spec: &ProblemSpec) -> Result<Plan, String> {
     let tb = spec.constraints.period.is_some();
     let lb = spec.constraints.latency.is_some();
     let eb = spec.constraints.energy.is_some();
     let fully_hom = platform.class() == PlatformClass::FullyHomogeneous;
-    let links_hom = !matches!(platform.links, Links::Heterogeneous { .. });
+    let links_hom = crate::mono::links_are_homogeneous(platform);
     let uni_modal = platform.is_uni_modal();
     let exact = spec.hints.exact_fallback;
     let heuristic = spec.hints.heuristic_fallback;
@@ -787,6 +945,86 @@ fn execute(
                 .collect();
             front_outcome(spec, entries)
         }
+        Plan::Benes(base) => {
+            let outcome = execute(apps, platform, spec, base.base_plan(), scratch);
+            certify_benes_outcome(apps, platform, outcome)
+        }
+    }
+}
+
+/// Certify every mapping in a routed outcome against the multistage
+/// fabric: the inter-processor flow pattern must be a partial permutation
+/// that the Benes network routes with every stage wire carrying at most
+/// one flow. Plain interval/one-to-one mappings satisfy this by
+/// construction (each enrolled processor hosts one interval, hence at most
+/// one predecessor and one successor edge); a violation therefore signals
+/// a mapping class the fabric cost model does not cover and comes back as
+/// a typed [`SolveOutcome::Unsupported`] — never a panic.
+fn certify_benes_outcome(
+    apps: &AppSet,
+    platform: &Platform,
+    outcome: SolveOutcome,
+) -> SolveOutcome {
+    let check = |mapping: &SolvedMapping| -> Result<(), String> {
+        match mapping {
+            SolvedMapping::Plain(m) => certify_benes_mapping(apps, platform, m),
+            SolvedMapping::Replicated(_) | SolvedMapping::General(_) => Err(
+                "replicated/general mappings are not routable as a partial permutation".into(),
+            ),
+        }
+    };
+    let fail = |reason: String| SolveOutcome::Unsupported {
+        reason: format!("multistage routing certificate failed: {reason}"),
+    };
+    match &outcome {
+        SolveOutcome::Solution(point) => match check(&point.mapping) {
+            Ok(()) => outcome,
+            Err(reason) => fail(reason),
+        },
+        SolveOutcome::Front(entries) => {
+            for e in entries {
+                if let Err(reason) = check(&e.mapping) {
+                    return fail(reason);
+                }
+            }
+            outcome
+        }
+        SolveOutcome::Infeasible { .. } | SolveOutcome::Unsupported { .. } => outcome,
+    }
+}
+
+/// Route one plain mapping's inter-processor flows through the Benes
+/// network and verify the routing is contention-free.
+fn certify_benes_mapping(
+    apps: &AppSet,
+    platform: &Platform,
+    mapping: &Mapping,
+) -> Result<(), String> {
+    let net = BenesNetwork::with_capacity_for(platform.p());
+    let mut dest: Vec<Option<usize>> = vec![None; net.ports()];
+    let mut incoming = vec![false; net.ports()];
+    for a in 0..apps.a() {
+        let chain = mapping.app_chain(a);
+        for w in chain.windows(2) {
+            let (u, v) = (w[0].proc, w[1].proc);
+            if u == v {
+                continue; // no fabric crossing
+            }
+            if dest[u].is_some() {
+                return Err(format!("processor {u} has several outgoing flows"));
+            }
+            if incoming[v] {
+                return Err(format!("processor {v} has several incoming flows"));
+            }
+            dest[u] = Some(v);
+            incoming[v] = true;
+        }
+    }
+    let routing = net.route(&dest);
+    if routing.verify(&dest) {
+        Ok(())
+    } else {
+        Err("routed paths are not stage-edge-disjoint".into())
     }
 }
 

@@ -117,8 +117,14 @@ impl<'a> Bnb<'a> {
                     continue;
                 }
                 reps.push(u);
-                let bw_in = if first == 0 {
-                    self.platform.bw_input(a, u)
+                // Topology-aware edge times; on `Dedicated` platforms these
+                // are exactly the historical `δ / bw` divisions, bit for
+                // bit. On `Multistage` the interior edges carry the fabric
+                // traversal overhead — consecutive intervals always sit on
+                // distinct processors, so the overhead applies exactly and
+                // the prune stays admissible (never an overestimate).
+                let incoming = if first == 0 {
+                    self.platform.transfer_time_input(a, u, app.input_of(first))
                 } else {
                     let prev = self
                         .mapping
@@ -126,10 +132,20 @@ impl<'a> Bnb<'a> {
                         .last()
                         .expect("previous interval exists")
                         .proc;
-                    self.platform.bw_inter(a, prev, u)
+                    self.platform.transfer_time_inter(a, prev, u, app.input_of(first))
                 };
-                let incoming = app.input_of(first) / bw_in;
-                let out_opt = app.output_of(last) / self.optimistic_out_bw(a, u);
+                let out_opt = if self.platform.is_multistage() {
+                    if last + 1 == n {
+                        self.platform.transfer_time_output(a, u, app.output_of(last))
+                    } else {
+                        // The successor processor is not chosen yet, but on
+                        // a multistage fabric every inter-processor edge
+                        // costs the same regardless of the endpoints.
+                        self.platform.transfer_time_inter(a, u, u, app.output_of(last))
+                    }
+                } else {
+                    app.output_of(last) / self.optimistic_out_bw(a, u)
+                };
                 let proc = &self.platform.procs[u];
                 for mode in 0..proc.modes() {
                     let speed = proc.speed(mode);

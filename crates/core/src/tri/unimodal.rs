@@ -22,20 +22,16 @@ use cpo_model::num;
 use cpo_model::prelude::*;
 
 /// Shared setup: fully homogeneous + uni-modal, returns
-/// `(speed, e_stat, bandwidth, per-processor energy)`.
-fn unimodal_params(platform: &Platform) -> Option<(f64, f64, f64, f64)> {
+/// `(speed, e_stat, per-processor energy)`. The per-application
+/// communication structure comes from [`Platform::uniform_comm`].
+fn unimodal_params(platform: &Platform) -> Option<(f64, f64, f64)> {
     if platform.class() != PlatformClass::FullyHomogeneous || !platform.is_uni_modal() {
         return None;
     }
-    let b = match &platform.links {
-        cpo_model::platform::Links::Uniform(b) => *b,
-        cpo_model::platform::Links::PerApp(bs) => bs[0],
-        cpo_model::platform::Links::Heterogeneous { .. } => return None,
-    };
     let proc = &platform.procs[0];
     let s = proc.max_speed();
     let e_per_proc = proc.e_stat + EnergyModel::default().dynamic(s);
-    Some((s, proc.e_stat, b, e_per_proc))
+    Some((s, proc.e_stat, e_per_proc))
 }
 
 /// Number of processors affordable under `energy_budget`.
@@ -62,7 +58,7 @@ pub fn min_period_tri_unimodal(
     energy_budget: f64,
 ) -> Option<Solution> {
     assert_eq!(latency_bounds.len(), apps.a());
-    let (_, _, b, e_per_proc) = unimodal_params(platform)?;
+    let (_, _, e_per_proc) = unimodal_params(platform)?;
     let speeds = platform.procs[0].speeds().to_vec();
     let k = proc_cap(platform.p(), e_per_proc, energy_budget);
     let a_count = apps.a();
@@ -75,8 +71,12 @@ pub fn min_period_tri_unimodal(
     let tables: Vec<IntervalCostTable> = apps
         .apps
         .iter()
-        .map(|app| IntervalCostTable::build(&HomCtx::new(app, &speeds, b, model)))
-        .collect();
+        .enumerate()
+        .map(|(a, app)| {
+            let comm = platform.uniform_comm(a)?;
+            Some(IntervalCostTable::build(&HomCtx::with_comm(app, &speeds, comm, model)))
+        })
+        .collect::<Option<Vec<_>>>()?;
     let candidates: Vec<Vec<f64>> = tables.iter().map(|t| t.candidates()).collect();
     let weights: Vec<f64> = apps.apps.iter().map(|a| a.weight).collect();
     let mut scratch = DpScratch::new();
@@ -122,7 +122,7 @@ pub fn min_latency_tri_unimodal(
     energy_budget: f64,
 ) -> Option<Solution> {
     assert_eq!(period_bounds.len(), apps.a());
-    let (_, _, b, e_per_proc) = unimodal_params(platform)?;
+    let (_, _, e_per_proc) = unimodal_params(platform)?;
     let speeds = platform.procs[0].speeds().to_vec();
     let k = proc_cap(platform.p(), e_per_proc, energy_budget);
     let a_count = apps.a();
@@ -135,7 +135,8 @@ pub fn min_latency_tri_unimodal(
     // after the allocation).
     let mut workspace = DpWorkspace::new();
     for (a, (app, &tb)) in apps.apps.iter().zip(period_bounds).enumerate() {
-        let ctx = HomCtx::new(app, &speeds, b, model);
+        let comm = platform.uniform_comm(a)?;
+        let ctx = HomCtx::with_comm(app, &speeds, comm, model);
         latency_dp(&IntervalCostTable::build(&ctx), tb, qmax, workspace.app_scratch(a));
     }
     let per_app = &workspace.per_app;
@@ -167,7 +168,7 @@ pub fn min_energy_tri_unimodal(
 ) -> Option<Solution> {
     assert_eq!(period_bounds.len(), apps.a());
     assert_eq!(latency_bounds.len(), apps.a());
-    let (_, _, b, _) = unimodal_params(platform)?;
+    let (_, _, _e_per_proc) = unimodal_params(platform)?;
     let speeds = platform.procs[0].speeds().to_vec();
     let p = platform.p();
     let a_count = apps.a();
@@ -179,7 +180,8 @@ pub fn min_energy_tri_unimodal(
     let mut total_procs = 0usize;
     let mut scratch = DpScratch::new();
     for (a, app) in apps.apps.iter().enumerate() {
-        let ctx = HomCtx::new(app, &speeds, b, model);
+        let comm = platform.uniform_comm(a)?;
+        let ctx = HomCtx::with_comm(app, &speeds, comm, model);
         latency_dp(&IntervalCostTable::build(&ctx), period_bounds[a], qmax, &mut scratch);
         // Fewest processors meeting the latency bound.
         let q = (1..=qmax).find(|&q| num::le(scratch.best_row()[q - 1], latency_bounds[a]))?;

@@ -20,9 +20,10 @@
 //!   JSONL batch through the `cpo_engine` work-stealing pool; one outcome
 //!   line per input line, in input order, never aborting on per-item
 //!   failures;
-//! * `spec-example [batch|large]` — print the runnable example request
-//!   (or the mixed feasible/infeasible batch, or the large-scale
-//!   wavefront soak) committed under `examples/specs/`.
+//! * `spec-example [batch|large|benes]` — print the runnable example
+//!   request (or the mixed feasible/infeasible batch, the large-scale
+//!   wavefront soak, or the Benes multistage-fabric instance) committed
+//!   under `examples/specs/`.
 //!
 //! `--check` closes the loop end-to-end: every routed solution is
 //! re-evaluated analytically *and* executed in the simulator (the
@@ -1237,6 +1238,25 @@ fn example_large() -> SolveRequest {
     )
 }
 
+/// The committed Benes request: the Section 2 instance solved over a
+/// multistage (rearrangeable Benes) interconnect instead of dedicated
+/// links. The router wraps the interval period solver in the routing
+/// certificate (`Plan::Benes`), and `--check` replays the mapping
+/// through the simulator with the fabric contention model.
+fn example_benes() -> SolveRequest {
+    let (apps, _) = section2_example();
+    let procs = vec![Processor::new(vec![1.0, 3.0, 6.0, 8.0]).unwrap(); 3];
+    let net = MultistageNetwork::new(1.0, 0.05).unwrap();
+    let platform = Platform::multistage(procs, net).unwrap();
+    let problem = ProblemSpec::new(Objective::Period, Strategy::Interval, CommModel::Overlap);
+    SolveRequest::new(
+        "Section 2 instance over a Benes multistage fabric (minimum period, interval mapping)",
+        apps,
+        platform,
+        problem,
+    )
+}
+
 fn spec_example(which: Option<&str>) {
     match which {
         Some("batch") => {
@@ -1246,6 +1266,12 @@ fn spec_example(which: Option<&str>) {
         }
         Some("large") => {
             let req = example_large();
+            let json = req.to_json().expect("serializable");
+            assert_eq!(SolveRequest::from_json(&json).expect("round-trips"), req);
+            println!("{json}");
+        }
+        Some("benes") => {
+            let req = example_benes();
             let json = req.to_json().expect("serializable");
             assert_eq!(SolveRequest::from_json(&json).expect("round-trips"), req);
             println!("{json}");
@@ -1332,9 +1358,13 @@ fn main() {
                 "usage: cpo-experiments [fig1|table1|table2|gadgets|scaling|pareto|extensions|\
                  robustness|dump|all]"
             );
-            eprintln!("       cpo-experiments solve <spec.json> [--check] [--threads N]");
-            eprintln!("       cpo-experiments batch <specs.jsonl> [--check] [--threads N]");
-            eprintln!("       cpo-experiments spec-example [batch]");
+            eprintln!(
+                "       cpo-experiments solve <spec.json> [--check] [--threads N] [--datasets N]"
+            );
+            eprintln!(
+                "       cpo-experiments batch <specs.jsonl> [--check] [--threads N] [--datasets N]"
+            );
+            eprintln!("       cpo-experiments spec-example [batch|large|benes]");
             std::process::exit(2);
         }
     }

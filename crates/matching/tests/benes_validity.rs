@@ -1,0 +1,97 @@
+//! Property tests: Benes routings are valid rearrangeable permutation
+//! routings — every routed source reaches exactly its destination and no
+//! two flows ever share a stage wire (stage-edge-disjointness) — and the
+//! round decomposition of arbitrary flow multisets is Δ-optimal.
+
+use cpo_matching::benes::{decompose_rounds, BenesNetwork};
+use proptest::prelude::*;
+use rand::prelude::*;
+
+/// A random partial permutation on `n` ports: each port routes with
+/// probability `density`, destinations are a random subset in random
+/// order.
+fn random_partial_perm(n: usize, density: f64, rng: &mut StdRng) -> Vec<Option<usize>> {
+    let sources: Vec<usize> = (0..n).filter(|_| rng.gen_bool(density)).collect();
+    let mut targets: Vec<usize> = (0..n).collect();
+    targets.shuffle(rng);
+    let mut dest = vec![None; n];
+    for (&s, &t) in sources.iter().zip(&targets) {
+        dest[s] = Some(t);
+    }
+    dest
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn full_permutations_route_contention_free(
+        seed in 0u64..1_000_000,
+        levels in 1u32..6,
+    ) {
+        let n = 1usize << levels;
+        let net = BenesNetwork::new(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut perm: Vec<usize> = (0..n).collect();
+        perm.shuffle(&mut rng);
+        let dest: Vec<Option<usize>> = perm.iter().map(|&t| Some(t)).collect();
+        let routing = net.route(&dest);
+        prop_assert!(routing.verify(&dest), "invalid routing for {:?}", perm);
+        prop_assert_eq!(routing.max_occupation(), 1);
+        // Every path has one wire per stage and starts adjacent to its
+        // source (stage 0 can only keep or flip bit 0).
+        for (src, path) in routing.paths.iter().enumerate() {
+            let path = path.as_ref().expect("full permutation routes every port");
+            prop_assert_eq!(path.len(), net.stages());
+            prop_assert!(path[0] == src || path[0] == src ^ 1);
+        }
+    }
+
+    #[test]
+    fn partial_permutations_route_contention_free(
+        seed in 0u64..1_000_000,
+        levels in 1u32..6,
+        density_pct in 0u32..=100,
+    ) {
+        let n = 1usize << levels;
+        let net = BenesNetwork::new(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let dest = random_partial_perm(n, f64::from(density_pct) / 100.0, &mut rng);
+        let routing = net.route(&dest);
+        prop_assert!(routing.verify(&dest));
+        prop_assert!(routing.max_occupation() <= 1);
+    }
+
+    #[test]
+    fn round_decomposition_is_exact_and_delta_bounded(
+        seed in 0u64..1_000_000,
+        levels in 1u32..5,
+        m in 0usize..24,
+    ) {
+        let n = 1usize << levels;
+        let net = BenesNetwork::new(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let flows: Vec<(usize, usize)> =
+            (0..m).map(|_| (rng.gen_range(0..n), rng.gen_range(0..n))).collect();
+        let mut deg = vec![0usize; 2 * n];
+        for &(s, t) in &flows {
+            deg[s] += 1;
+            deg[n + t] += 1;
+        }
+        let delta = deg.iter().copied().max().unwrap_or(0);
+
+        let rounds = decompose_rounds(&flows, n);
+        prop_assert_eq!(rounds.len(), delta, "König: exactly Δ rounds");
+        let mut covered: Vec<(usize, usize)> =
+            rounds.iter().flatten().copied().collect();
+        covered.sort_unstable();
+        let mut expect = flows.clone();
+        expect.sort_unstable();
+        prop_assert_eq!(covered, expect, "every flow in exactly one round");
+
+        // Each routed round is itself a contention-free routing.
+        for routing in net.route_rounds(&flows) {
+            prop_assert!(routing.max_occupation() <= 1);
+        }
+    }
+}

@@ -123,20 +123,20 @@ impl<'m> Evaluator<'m> {
             let speed = self.platform.procs[asg.proc].speed(asg.mode);
             let din = application.input_of(asg.interval.first);
             let dout = application.output_of(asg.interval.last);
-            let bw_in = if j == 0 {
-                self.platform.bw_input(app, asg.proc)
+            let incoming = if j == 0 {
+                self.platform.transfer_time_input(app, asg.proc, din)
             } else {
-                self.platform.bw_inter(app, chain[j - 1].proc, asg.proc)
+                self.platform.transfer_time_inter(app, chain[j - 1].proc, asg.proc, din)
             };
-            let bw_out = if j == m - 1 {
-                self.platform.bw_output(app, asg.proc)
+            let outgoing = if j == m - 1 {
+                self.platform.transfer_time_output(app, asg.proc, dout)
             } else {
-                self.platform.bw_inter(app, asg.proc, chain[j + 1].proc)
+                self.platform.transfer_time_inter(app, asg.proc, chain[j + 1].proc, dout)
             };
             out.push(CycleBreakdown {
-                incoming: din / bw_in,
+                incoming,
                 compute: application.interval_work(asg.interval.first, asg.interval.last) / speed,
-                outgoing: dout / bw_out,
+                outgoing,
             });
         }
         out

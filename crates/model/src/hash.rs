@@ -25,6 +25,7 @@ use crate::eval::CommModel;
 use crate::objective::Thresholds;
 use crate::platform::{Links, Platform, Processor};
 use crate::spec::{Objective, ProblemSpec, SolverHints, Strategy};
+use crate::topology::CommTopology;
 
 /// splitmix64 finalizer: a full-avalanche 64-bit mixer.
 fn mix(mut x: u64) -> u64 {
@@ -192,6 +193,19 @@ impl StableHash for Links {
     }
 }
 
+impl StableHash for CommTopology {
+    fn stable_hash(&self, h: &mut StructuralHasher) {
+        match self {
+            CommTopology::Dedicated => h.write_u64(0),
+            CommTopology::Multistage(net) => {
+                h.write_u64(1);
+                h.write_f64(net.link_bandwidth);
+                h.write_f64(net.hop_latency);
+            }
+        }
+    }
+}
+
 impl StableHash for Platform {
     fn stable_hash(&self, h: &mut StructuralHasher) {
         h.write_usize(self.procs.len());
@@ -199,6 +213,7 @@ impl StableHash for Platform {
             p.stable_hash(h);
         }
         self.links.stable_hash(h);
+        self.topology.stable_hash(h);
     }
 }
 
@@ -378,6 +393,47 @@ mod tests {
         let mut h4 = StructuralHasher::new();
         h4.write_opt_f64(Some(0.0));
         assert_ne!(h3.finish(), h4.finish());
+    }
+
+    #[test]
+    fn topology_variants_produce_distinct_digests() {
+        use crate::topology::MultistageNetwork;
+        let (apps, pf) = section2_example();
+        let dedicated = hash_instance(&apps, &pf);
+
+        let net = MultistageNetwork::new(1.0, 0.0).unwrap();
+        let ms = pf.clone().with_topology(CommTopology::Multistage(net)).unwrap();
+        let multistage = hash_instance(&apps, &ms);
+        assert_ne!(dedicated, multistage, "topology tag must enter the digest");
+
+        // Every network field perturbation changes the digest.
+        let mut faster = ms.clone();
+        faster.topology =
+            CommTopology::Multistage(MultistageNetwork::new(2.0, 0.0).unwrap());
+        assert_ne!(hash_instance(&apps, &faster), multistage);
+        let mut laggy = ms.clone();
+        laggy.topology =
+            CommTopology::Multistage(MultistageNetwork::new(1.0, 0.25).unwrap());
+        assert_ne!(hash_instance(&apps, &laggy), multistage);
+
+        // Same -0.0 / NaN bit discipline as the Links fields: hop
+        // latencies 0.0 and -0.0 are distinct digests, and NaN hashes
+        // stably by bit pattern.
+        let mut neg = ms.clone();
+        neg.topology = CommTopology::Multistage(MultistageNetwork {
+            link_bandwidth: 1.0,
+            hop_latency: -0.0,
+        });
+        assert_ne!(hash_instance(&apps, &neg), multistage);
+        let nan = CommTopology::Multistage(MultistageNetwork {
+            link_bandwidth: 1.0,
+            hop_latency: f64::NAN,
+        });
+        let mut h1 = StructuralHasher::new();
+        nan.stable_hash(&mut h1);
+        let mut h2 = StructuralHasher::new();
+        nan.stable_hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish(), "NaN hashes by bit pattern");
     }
 
     #[test]

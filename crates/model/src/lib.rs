@@ -42,6 +42,7 @@ pub mod platform;
 pub mod replication;
 pub mod sharing;
 pub mod spec;
+pub mod topology;
 
 pub use application::{AppSet, Application, Stage};
 pub use energy::EnergyModel;
@@ -54,6 +55,7 @@ pub use spec::{
     Objective, ProblemSpec, SolveOutcome, SolveRequest, SolvedMapping, SolvedPoint, SolverHints,
     Strategy,
 };
+pub use topology::{CommTopology, MultistageNetwork, UniformComm};
 
 /// Convenient prelude bringing the whole model vocabulary into scope.
 pub mod prelude {
@@ -68,4 +70,5 @@ pub mod prelude {
         FrontEntry, Objective, ProblemSpec, SolveOutcome, SolveRequest, SolvedMapping,
         SolvedPoint, SolverHints, Strategy,
     };
+    pub use crate::topology::{CommTopology, MultistageNetwork, UniformComm};
 }

@@ -16,6 +16,7 @@
 //! * **fully heterogeneous** — arbitrary per-pair bandwidths.
 
 use crate::error::ModelError;
+use crate::topology::{CommTopology, MultistageNetwork, UniformComm};
 use serde::{Deserialize, Serialize};
 
 /// One multi-modal processor.
@@ -132,8 +133,15 @@ pub enum PlatformClass {
 pub struct Platform {
     /// The `p` computation processors.
     pub procs: Vec<Processor>,
-    /// Link bandwidths.
+    /// Link bandwidths. Under [`CommTopology::Multistage`] this is a
+    /// consistency shadow (`Links::Uniform(link_bandwidth)`); the
+    /// topology owns the communication cost.
     pub links: Links,
+    /// The interconnect carrying the transfers. Defaults to
+    /// [`CommTopology::Dedicated`] — existing serialized platforms parse
+    /// unchanged and keep their exact pre-topology semantics.
+    #[serde(default)]
+    pub topology: CommTopology,
 }
 
 impl Platform {
@@ -177,7 +185,26 @@ impl Platform {
                 }
             }
         }
-        Ok(Platform { procs, links })
+        Ok(Platform { procs, links, topology: CommTopology::Dedicated })
+    }
+
+    /// Replace the communication topology, validating its parameters.
+    pub fn with_topology(mut self, topology: CommTopology) -> Result<Self, ModelError> {
+        if let CommTopology::Multistage(net) = &topology {
+            net.validate()?;
+        }
+        self.topology = topology;
+        Ok(self)
+    }
+
+    /// Platform whose processors communicate through a Benes multistage
+    /// interconnect. The `links` field is set to the uniform shadow
+    /// `Links::Uniform(net.link_bandwidth)` for backward-compatible
+    /// consumers; all communication cost is owned by the topology.
+    pub fn multistage(procs: Vec<Processor>, net: MultistageNetwork) -> Result<Self, ModelError> {
+        net.validate()?;
+        Platform::new(procs, Links::Uniform(net.link_bandwidth))?
+            .with_topology(CommTopology::Multistage(net))
     }
 
     /// Fully homogeneous platform: `p` copies of the same speed set, uniform
@@ -228,8 +255,125 @@ impl Platform {
         }
     }
 
-    /// Whether every link has the same bandwidth.
+    /// Whether the platform's interconnect is a multistage network.
+    #[inline]
+    pub fn is_multistage(&self) -> bool {
+        self.topology.is_multistage()
+    }
+
+    /// Transfer time of the input edge `P_in_app → P_u` for `bytes` data.
+    ///
+    /// `Dedicated` platforms evaluate exactly `bytes / bw_input(app, u)`
+    /// (the pre-topology expression, bit for bit). `Multistage` platforms
+    /// use the dedicated front-end link: `bytes / link_bandwidth`, no
+    /// stage traversal.
+    #[inline]
+    pub fn transfer_time_input(&self, app: usize, u: usize, bytes: f64) -> f64 {
+        match &self.topology {
+            CommTopology::Dedicated => bytes / self.bw_input(app, u),
+            CommTopology::Multistage(net) => bytes / net.link_bandwidth,
+        }
+    }
+
+    /// Transfer time of the inter-processor edge `P_u → P_v` for `bytes`
+    /// data.
+    ///
+    /// `Dedicated`: exactly `bytes / bw_inter(app, u, v)`. `Multistage`:
+    /// the transfer traverses all `2·log₂N − 1` switch stages —
+    /// `bytes / link_bandwidth + traversal_overhead(p)` (the add is
+    /// skipped entirely when the overhead is zero, preserving `-0.0`
+    /// bit patterns).
+    #[inline]
+    pub fn transfer_time_inter(&self, app: usize, u: usize, v: usize, bytes: f64) -> f64 {
+        match &self.topology {
+            CommTopology::Dedicated => bytes / self.bw_inter(app, u, v),
+            CommTopology::Multistage(net) => {
+                let t = bytes / net.link_bandwidth;
+                let overhead = net.traversal_overhead(self.p());
+                if overhead != 0.0 {
+                    t + overhead
+                } else {
+                    t
+                }
+            }
+        }
+    }
+
+    /// Transfer time of the output edge `P_u → P_out_app` for `bytes`
+    /// data. Same contract as [`Platform::transfer_time_input`].
+    #[inline]
+    pub fn transfer_time_output(&self, app: usize, u: usize, bytes: f64) -> f64 {
+        match &self.topology {
+            CommTopology::Dedicated => bytes / self.bw_output(app, u),
+            CommTopology::Multistage(net) => bytes / net.link_bandwidth,
+        }
+    }
+
+    /// The uniform communication structure seen by application `app`, if
+    /// the platform is comm-homogeneous from that application's point of
+    /// view: a single bandwidth plus a per-transfer inter-processor
+    /// overhead. `None` on fully heterogeneous links (and on `PerApp`
+    /// links missing an entry for `app` — see
+    /// [`Platform::validate_for_apps`]).
+    pub fn uniform_comm(&self, app: usize) -> Option<UniformComm> {
+        match &self.topology {
+            CommTopology::Multistage(net) => Some(UniformComm {
+                bandwidth: net.link_bandwidth,
+                inter_overhead: net.traversal_overhead(self.p()),
+            }),
+            CommTopology::Dedicated => match &self.links {
+                Links::Uniform(b) => Some(UniformComm::dedicated(*b)),
+                Links::PerApp(bs) => bs.get(app).map(|&b| UniformComm::dedicated(b)),
+                Links::Heterogeneous { .. } => None,
+            },
+        }
+    }
+
+    /// Validate that the platform can serve an instance of `apps`
+    /// applications: `PerApp` bandwidth vectors and heterogeneous
+    /// input/output matrices must cover every application index. This is
+    /// the instance-assembly check that turns the historical
+    /// `bs[app]` out-of-bounds panic into a typed error.
+    pub fn validate_for_apps(&self, apps: usize) -> Result<(), ModelError> {
+        match &self.links {
+            Links::Uniform(_) => Ok(()),
+            Links::PerApp(bs) => {
+                if bs.len() < apps {
+                    Err(ModelError::DimensionMismatch {
+                        what: "per-app bandwidth entries",
+                        expected: apps,
+                        found: bs.len(),
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+            Links::Heterogeneous { input, output, .. } => {
+                if input.len() < apps {
+                    return Err(ModelError::DimensionMismatch {
+                        what: "input bandwidth rows",
+                        expected: apps,
+                        found: input.len(),
+                    });
+                }
+                if output.len() < apps {
+                    return Err(ModelError::DimensionMismatch {
+                        what: "output bandwidth rows",
+                        expected: apps,
+                        found: output.len(),
+                    });
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Whether every link has the same bandwidth (always true under a
+    /// multistage topology: the fabric is built from identical links).
     pub fn has_homogeneous_links(&self) -> bool {
+        if self.is_multistage() {
+            return true;
+        }
         match &self.links {
             Links::Uniform(_) => true,
             Links::PerApp(bs) => bs.windows(2).all(|w| w[0] == w[1]),
@@ -344,6 +488,74 @@ mod tests {
         assert_eq!(pa2.class(), PlatformClass::FullyHeterogeneous);
         assert_eq!(pa2.bw_inter(1, 0, 1), 2.0);
         assert_eq!(pa2.bw_input(0, 1), 1.0);
+    }
+
+    #[test]
+    fn multistage_platform_basics() {
+        let net = MultistageNetwork::new(2.0, 0.5).unwrap();
+        let pf = Platform::multistage(vec![Processor::uni_modal(1.0).unwrap(); 4], net).unwrap();
+        assert!(pf.is_multistage());
+        assert!(pf.has_homogeneous_links());
+        assert_eq!(pf.class(), PlatformClass::FullyHomogeneous);
+        // I/O edges bypass the fabric; inter edges pay 3 stages × 0.5.
+        assert_eq!(pf.transfer_time_input(0, 2, 4.0), 2.0);
+        assert_eq!(pf.transfer_time_output(0, 2, 4.0), 2.0);
+        assert_eq!(pf.transfer_time_inter(0, 1, 2, 4.0), 3.5);
+        let uc = pf.uniform_comm(0).unwrap();
+        assert_eq!(uc.bandwidth, 2.0);
+        assert_eq!(uc.inter_overhead, 1.5);
+        // The links shadow mirrors the fabric bandwidth.
+        assert_eq!(pf.links, Links::Uniform(2.0));
+        assert!(Platform::multistage(
+            vec![Processor::uni_modal(1.0).unwrap()],
+            MultistageNetwork { link_bandwidth: 0.0, hop_latency: 0.0 },
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn dedicated_transfer_times_are_the_bare_divisions() {
+        let pf = Platform::fully_homogeneous(3, vec![1.0], 2.0).unwrap();
+        assert!(!pf.is_multistage());
+        for bytes in [0.0, -0.0, 3.0, 7.5] {
+            assert_eq!(
+                pf.transfer_time_input(0, 1, bytes).to_bits(),
+                (bytes / 2.0).to_bits()
+            );
+            assert_eq!(
+                pf.transfer_time_inter(0, 0, 1, bytes).to_bits(),
+                (bytes / 2.0).to_bits()
+            );
+            assert_eq!(
+                pf.transfer_time_output(0, 2, bytes).to_bits(),
+                (bytes / 2.0).to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn validate_for_apps_covers_per_app_and_heterogeneous() {
+        let procs = vec![Processor::uni_modal(1.0).unwrap(); 2];
+        let pa = Platform::new(procs.clone(), Links::PerApp(vec![1.0])).unwrap();
+        assert!(pa.validate_for_apps(1).is_ok());
+        assert!(matches!(
+            pa.validate_for_apps(2),
+            Err(ModelError::DimensionMismatch { expected: 2, found: 1, .. })
+        ));
+        assert!(pa.uniform_comm(1).is_none());
+        let het = Platform::new(
+            procs.clone(),
+            Links::Heterogeneous {
+                inter: vec![vec![1.0, 1.0], vec![1.0, 1.0]],
+                input: vec![vec![1.0, 1.0]],
+                output: vec![vec![1.0, 1.0]],
+            },
+        )
+        .unwrap();
+        assert!(het.validate_for_apps(1).is_ok());
+        assert!(het.validate_for_apps(2).is_err());
+        let uni = Platform::new(procs, Links::Uniform(1.0)).unwrap();
+        assert!(uni.validate_for_apps(100).is_ok());
     }
 
     #[test]

@@ -201,6 +201,29 @@ impl<'m> ReplicatedEvaluator<'m> {
         b
     }
 
+    /// Per-transfer latency of inter-processor edges (a multistage fabric
+    /// charges its stage traversal; dedicated links charge nothing).
+    fn inter_overhead(&self) -> f64 {
+        match &self.platform.topology {
+            crate::topology::CommTopology::Multistage(net) => {
+                net.traversal_overhead(self.platform.p())
+            }
+            crate::topology::CommTopology::Dedicated => 0.0,
+        }
+    }
+
+    /// Inter-processor transfer time with the gated overhead add (the
+    /// zero-overhead case stays the bare division, bit for bit).
+    fn inter_time(&self, bytes: f64, bw: f64) -> f64 {
+        let t = bytes / bw;
+        let overhead = self.inter_overhead();
+        if overhead != 0.0 {
+            t + overhead
+        } else {
+            t
+        }
+    }
+
     /// Period `T_a` of application `app` under replication.
     pub fn app_period(&self, mapping: &ReplicatedMapping, app: usize, model: CommModel) -> f64 {
         let chain = mapping.app_chain(app);
@@ -209,26 +232,30 @@ impl<'m> ReplicatedEvaluator<'m> {
         let mut period = 0.0f64;
         for (j, asg) in chain.iter().enumerate() {
             let s = self.min_speed(asg);
-            let bw_in = if j == 0 {
-                asg.procs
+            let din = application.input_of(asg.interval.first);
+            let dout = application.output_of(asg.interval.last);
+            let incoming = if j == 0 {
+                let bw = asg
+                    .procs
                     .iter()
                     .map(|&u| self.platform.bw_input(app, u))
-                    .fold(f64::INFINITY, crate::num::fmin)
+                    .fold(f64::INFINITY, crate::num::fmin);
+                din / bw
             } else {
-                self.min_bw(app, chain[j - 1], asg)
+                self.inter_time(din, self.min_bw(app, chain[j - 1], asg))
             };
-            let bw_out = if j == m - 1 {
-                asg.procs
+            let outgoing = if j == m - 1 {
+                let bw = asg
+                    .procs
                     .iter()
                     .map(|&u| self.platform.bw_output(app, u))
-                    .fold(f64::INFINITY, crate::num::fmin)
+                    .fold(f64::INFINITY, crate::num::fmin);
+                dout / bw
             } else {
-                self.min_bw(app, asg, chain[j + 1])
+                self.inter_time(dout, self.min_bw(app, asg, chain[j + 1]))
             };
-            let incoming = application.input_of(asg.interval.first) / bw_in;
             let compute =
                 application.interval_work(asg.interval.first, asg.interval.last) / s;
-            let outgoing = application.output_of(asg.interval.last) / bw_out;
             let cycle = model.combine(incoming, compute, outgoing) / asg.r() as f64;
             period = fmax(period, cycle);
         }
@@ -252,15 +279,17 @@ impl<'m> ReplicatedEvaluator<'m> {
                 latency += application.input_of(0) / bw_in;
             }
             latency += application.interval_work(asg.interval.first, asg.interval.last) / s;
-            let bw_out = if j == m - 1 {
-                asg.procs
+            let dout = application.output_of(asg.interval.last);
+            latency += if j == m - 1 {
+                let bw = asg
+                    .procs
                     .iter()
                     .map(|&u| self.platform.bw_output(app, u))
-                    .fold(f64::INFINITY, crate::num::fmin)
+                    .fold(f64::INFINITY, crate::num::fmin);
+                dout / bw
             } else {
-                self.min_bw(app, asg, chain[j + 1])
+                self.inter_time(dout, self.min_bw(app, asg, chain[j + 1]))
             };
-            latency += application.output_of(asg.interval.last) / bw_out;
         }
         latency
     }

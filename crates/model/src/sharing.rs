@@ -176,31 +176,29 @@ impl<'m> GeneralEvaluator<'m> {
             .position(|x| x.interval == asg.interval)
             .expect("assignment belongs to the chain");
         let speed = self.platform.procs[asg.proc].speed(asg.mode);
-        let bw_in = if j == 0 {
-            self.platform.bw_input(a, asg.proc)
+        let din = app.input_of(asg.interval.first);
+        let dout = app.output_of(asg.interval.last);
+        let t_in = if j == 0 {
+            self.platform.transfer_time_input(a, asg.proc, din)
         } else {
             let prev = chain[j - 1];
             if prev.proc == asg.proc {
-                f64::INFINITY // same processor: no communication
+                din / f64::INFINITY // same processor: no communication
             } else {
-                self.platform.bw_inter(a, prev.proc, asg.proc)
+                self.platform.transfer_time_inter(a, prev.proc, asg.proc, din)
             }
         };
-        let bw_out = if j == chain.len() - 1 {
-            self.platform.bw_output(a, asg.proc)
+        let t_out = if j == chain.len() - 1 {
+            self.platform.transfer_time_output(a, asg.proc, dout)
         } else {
             let next = chain[j + 1];
             if next.proc == asg.proc {
-                f64::INFINITY
+                dout / f64::INFINITY
             } else {
-                self.platform.bw_inter(a, asg.proc, next.proc)
+                self.platform.transfer_time_inter(a, asg.proc, next.proc, dout)
             }
         };
-        (
-            app.input_of(asg.interval.first) / bw_in,
-            app.interval_work(asg.interval.first, asg.interval.last) / speed,
-            app.output_of(asg.interval.last) / bw_out,
-        )
+        (t_in, app.interval_work(asg.interval.first, asg.interval.last) / speed, t_out)
     }
 
     /// Cycle-time of processor `u`: sum of its interval demands.

@@ -1,0 +1,225 @@
+//! Communication topology — *which network carries the data*.
+//!
+//! The paper's platform model (Section 3.2) assumes **dedicated**
+//! point-to-point links: every pair of processors owns a private link of
+//! some bandwidth, and transfers on distinct links never interfere. That
+//! assumption was baked inline into every layer (bandwidth accessors,
+//! DP comm terms, simulator transfer edges). This module lifts it into a
+//! typed, swappable axis:
+//!
+//! * [`CommTopology::Dedicated`] — the paper's model, verbatim. All
+//!   communication cost comes from the [`crate::platform::Links`]
+//!   bandwidths; behavior is bitwise-identical to the pre-topology code.
+//! * [`CommTopology::Multistage`] — a Benes/rearrangeable multistage
+//!   interconnect (Kannan's KR-Benes construction; Zhang et al.'s
+//!   Benes-based optical NoC cost model). Processors sit on the ports of
+//!   a `2·log₂N − 1`-stage switching fabric; **inter-processor** transfers
+//!   traverse every stage and pay a per-stage hop latency, while the
+//!   virtual `P_in_a` / `P_out_a` endpoints attach through dedicated
+//!   front-end links that bypass the fabric (so external I/O never
+//!   contends inside the network).
+//!
+//! ## Cost model
+//!
+//! Under `Multistage { link_bandwidth: b, hop_latency: h }` on a platform
+//! of `p` processors (`N = 2^⌈log₂ max(p,2)⌉` ports,
+//! `S = 2·log₂N − 1` stages):
+//!
+//! * input/output edge of size `δ`:  `δ / b` (front-end link, no hops);
+//! * inter-processor edge of size `δ`:  `δ / b + S·h`.
+//!
+//! Because interval mappings enroll each processor for exactly one
+//! interval, every processor sends at most one and receives at most one
+//! inter-processor flow per data set — the traffic is a **partial
+//! permutation**, which a rearrangeable network routes with zero
+//! contention (that is the definition of rearrangeability). The uniform
+//! comm-homogeneous structure the paper's exact algorithms rely on
+//! therefore survives intact; `cpo_matching::benes` computes the actual
+//! stage settings and certifies the contention-free routing.
+
+use crate::error::ModelError;
+use serde::{Deserialize, Serialize};
+
+/// The interconnect class carrying inter-processor (and I/O) transfers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub enum CommTopology {
+    /// Dedicated point-to-point links — the paper's Section 3.2 model.
+    /// Communication cost comes from [`crate::platform::Links`] unchanged.
+    #[default]
+    Dedicated,
+    /// A Benes rearrangeable multistage interconnect: shared switch
+    /// stages between the processors, dedicated front-end links for the
+    /// virtual I/O endpoints.
+    Multistage(MultistageNetwork),
+}
+
+impl CommTopology {
+    /// Whether this is the multistage variant.
+    #[inline]
+    pub fn is_multistage(&self) -> bool {
+        matches!(self, CommTopology::Multistage(_))
+    }
+}
+
+/// Parameters of a Benes multistage interconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultistageNetwork {
+    /// Bandwidth of every internal stage link and of the dedicated I/O
+    /// front-end links (the network is built from identical links).
+    pub link_bandwidth: f64,
+    /// Latency added per traversed switch stage (per transfer, not per
+    /// byte). `0.0` models an ideal circuit-switched fabric.
+    pub hop_latency: f64,
+}
+
+impl MultistageNetwork {
+    /// Build a network description, validating the parameters.
+    pub fn new(link_bandwidth: f64, hop_latency: f64) -> Result<Self, ModelError> {
+        let net = MultistageNetwork { link_bandwidth, hop_latency };
+        net.validate()?;
+        Ok(net)
+    }
+
+    /// Validate: positive finite bandwidth, non-negative finite latency.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if !(self.link_bandwidth.is_finite() && self.link_bandwidth > 0.0) {
+            return Err(ModelError::InvalidBandwidth {
+                reason: "non-positive multistage link bandwidth",
+            });
+        }
+        if !(self.hop_latency.is_finite() && self.hop_latency >= 0.0) {
+            return Err(ModelError::InvalidBandwidth {
+                reason: "negative or non-finite multistage hop latency",
+            });
+        }
+        Ok(())
+    }
+
+    /// Number of network ports for a `p`-processor platform: the next
+    /// power of two ≥ `max(p, 2)` (a Benes network needs `N = 2^k ≥ 2`).
+    pub fn ports_for(p: usize) -> usize {
+        p.max(2).next_power_of_two()
+    }
+
+    /// Number of switch stages `2·log₂N − 1` for a `p`-processor platform.
+    pub fn stages_for(p: usize) -> usize {
+        let n = Self::ports_for(p);
+        2 * (usize::BITS - 1 - n.leading_zeros()) as usize - 1
+    }
+
+    /// Total per-transfer latency of a full fabric traversal:
+    /// `stages_for(p) · hop_latency`.
+    pub fn traversal_overhead(&self, p: usize) -> f64 {
+        Self::stages_for(p) as f64 * self.hop_latency
+    }
+}
+
+/// A uniform communication cost structure: one bandwidth for every edge
+/// plus a per-transfer overhead on inter-processor edges only.
+///
+/// This is the shape every comm-homogeneous solver in `cpo_core`
+/// programs against. `Dedicated` uniform platforms have
+/// `inter_overhead == 0.0`; `Multistage` platforms have
+/// `inter_overhead == traversal_overhead(p)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformComm {
+    /// Bandwidth shared by every edge (input, inter, output).
+    pub bandwidth: f64,
+    /// Per-transfer latency added to inter-processor edges (never to
+    /// the `P_in` / `P_out` front-end edges).
+    pub inter_overhead: f64,
+}
+
+impl UniformComm {
+    /// A plain dedicated-uniform structure (no overhead).
+    #[inline]
+    pub fn dedicated(bandwidth: f64) -> Self {
+        UniformComm { bandwidth, inter_overhead: 0.0 }
+    }
+
+    /// Transfer time of an input/output edge of `bytes` data.
+    #[inline]
+    pub fn io_time(&self, bytes: f64) -> f64 {
+        bytes / self.bandwidth
+    }
+
+    /// Transfer time of an inter-processor edge of `bytes` data.
+    ///
+    /// The overhead add is gated on `!= 0.0` so the zero-overhead case
+    /// is the *bitwise-identical* single division of the pre-topology
+    /// code (`x + 0.0` would flip a `-0.0` transfer time to `+0.0`).
+    #[inline]
+    pub fn inter_time(&self, bytes: f64) -> f64 {
+        let t = bytes / self.bandwidth;
+        if self.inter_overhead != 0.0 {
+            t + self.inter_overhead
+        } else {
+            t
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ports_and_stages() {
+        assert_eq!(MultistageNetwork::ports_for(1), 2);
+        assert_eq!(MultistageNetwork::ports_for(2), 2);
+        assert_eq!(MultistageNetwork::ports_for(3), 4);
+        assert_eq!(MultistageNetwork::ports_for(4), 4);
+        assert_eq!(MultistageNetwork::ports_for(5), 8);
+        assert_eq!(MultistageNetwork::ports_for(8), 8);
+        assert_eq!(MultistageNetwork::ports_for(9), 16);
+        assert_eq!(MultistageNetwork::stages_for(2), 1);
+        assert_eq!(MultistageNetwork::stages_for(4), 3);
+        assert_eq!(MultistageNetwork::stages_for(8), 5);
+        assert_eq!(MultistageNetwork::stages_for(16), 7);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(MultistageNetwork::new(1.0, 0.0).is_ok());
+        assert!(MultistageNetwork::new(1.0, 0.25).is_ok());
+        assert!(MultistageNetwork::new(0.0, 0.0).is_err());
+        assert!(MultistageNetwork::new(-1.0, 0.0).is_err());
+        assert!(MultistageNetwork::new(f64::INFINITY, 0.0).is_err());
+        assert!(MultistageNetwork::new(1.0, -0.5).is_err());
+        assert!(MultistageNetwork::new(1.0, f64::NAN).is_err());
+        // -0.0 hop latency passes the `>= 0` check, like data sizes do.
+        assert!(MultistageNetwork::new(1.0, -0.0).is_ok());
+    }
+
+    #[test]
+    fn overheads() {
+        let net = MultistageNetwork::new(2.0, 0.5).unwrap();
+        assert_eq!(net.traversal_overhead(4), 1.5); // 3 stages × 0.5
+        assert_eq!(net.traversal_overhead(8), 2.5); // 5 stages × 0.5
+        let uc = UniformComm { bandwidth: 2.0, inter_overhead: 1.5 };
+        assert_eq!(uc.io_time(4.0), 2.0);
+        assert_eq!(uc.inter_time(4.0), 3.5);
+    }
+
+    #[test]
+    fn zero_overhead_inter_time_is_the_bare_division() {
+        // The gated add must preserve -0.0 bit patterns exactly.
+        let uc = UniformComm::dedicated(2.0);
+        assert_eq!(uc.inter_time(-0.0).to_bits(), (-0.0f64).to_bits());
+        assert_eq!(uc.io_time(-0.0).to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn serde_default_is_dedicated() {
+        use crate::io::serde_json_error;
+        let t: CommTopology = serde_json_error::from_str("\"Dedicated\"").unwrap();
+        assert_eq!(t, CommTopology::Dedicated);
+        assert!(!t.is_multistage());
+        let m: CommTopology = serde_json_error::from_str(
+            r#"{"Multistage":{"link_bandwidth":1.0,"hop_latency":0.1}}"#,
+        )
+        .unwrap();
+        assert!(m.is_multistage());
+        assert_eq!(CommTopology::default(), CommTopology::Dedicated);
+    }
+}

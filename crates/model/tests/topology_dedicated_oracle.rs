@@ -1,0 +1,486 @@
+//! Dedicated-topology conservation: the `CommTopology` refactor must not
+//! move a single bit on `Dedicated` platforms.
+//!
+//! Every oracle in this file is a **verbatim copy of the pre-refactor
+//! code** (the `δ / bw_*` divisions that used to live inline in
+//! `Evaluator::chain_breakdown`, `GeneralEvaluator::interval_ops` and
+//! `ReplicatedEvaluator::{app_period, app_latency}`), kept here frozen
+//! while the library routes the same terms through
+//! `Platform::transfer_time_*`. The suite soaks random instances, random
+//! mappings, all three `Links` variants and both communication models,
+//! comparing **by bit pattern** — including `0.0` payloads, whose sign
+//! would flip under a careless `+ 0.0`.
+//!
+//! A second group pins down the conservative multistage limit: a fabric
+//! with `hop_latency = 0` prices every edge exactly like uniform
+//! dedicated links, bit for bit.
+
+use cpo_model::generator::{
+    random_apps, random_comm_homogeneous, random_fully_heterogeneous, random_fully_homogeneous,
+    AppGenConfig, PlatformGenConfig,
+};
+use cpo_model::num::{fmax, fmin};
+use cpo_model::prelude::*;
+use cpo_model::replication::{ReplicatedEvaluator, ReplicatedMapping};
+use cpo_model::sharing::{GeneralEvaluator, GeneralMapping};
+use proptest::prelude::*;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+// ---------------------------------------------------------------------------
+// Verbatim pre-refactor oracles
+// ---------------------------------------------------------------------------
+
+/// Pre-refactor `Evaluator::chain_breakdown` comm terms: bandwidth lookup
+/// first, one division per edge.
+fn oracle_chain_breakdown(
+    apps: &AppSet,
+    platform: &Platform,
+    mapping: &Mapping,
+    app: usize,
+) -> Vec<(f64, f64, f64)> {
+    let chain = mapping.app_chain(app);
+    let application = &apps.apps[app];
+    let m = chain.len();
+    let mut out = Vec::with_capacity(m);
+    for (j, asg) in chain.iter().enumerate() {
+        let speed = platform.procs[asg.proc].speed(asg.mode);
+        let din = application.input_of(asg.interval.first);
+        let dout = application.output_of(asg.interval.last);
+        let bw_in = if j == 0 {
+            platform.bw_input(app, asg.proc)
+        } else {
+            platform.bw_inter(app, chain[j - 1].proc, asg.proc)
+        };
+        let bw_out = if j == m - 1 {
+            platform.bw_output(app, asg.proc)
+        } else {
+            platform.bw_inter(app, asg.proc, chain[j + 1].proc)
+        };
+        out.push((
+            din / bw_in,
+            application.interval_work(asg.interval.first, asg.interval.last) / speed,
+            dout / bw_out,
+        ));
+    }
+    out
+}
+
+/// Pre-refactor `GeneralEvaluator::interval_ops`.
+fn oracle_interval_ops(
+    apps: &AppSet,
+    platform: &Platform,
+    mapping: &GeneralMapping,
+    asg: &cpo_model::sharing::SharedAssignment,
+) -> (f64, f64, f64) {
+    let a = asg.interval.app;
+    let app = &apps.apps[a];
+    let chain = mapping.app_chain(a);
+    let j = chain
+        .iter()
+        .position(|x| x.interval == asg.interval)
+        .expect("assignment belongs to the chain");
+    let speed = platform.procs[asg.proc].speed(asg.mode);
+    let bw_in = if j == 0 {
+        platform.bw_input(a, asg.proc)
+    } else {
+        let prev = chain[j - 1];
+        if prev.proc == asg.proc {
+            f64::INFINITY // same processor: no communication
+        } else {
+            platform.bw_inter(a, prev.proc, asg.proc)
+        }
+    };
+    let bw_out = if j == chain.len() - 1 {
+        platform.bw_output(a, asg.proc)
+    } else {
+        let next = chain[j + 1];
+        if next.proc == asg.proc {
+            f64::INFINITY
+        } else {
+            platform.bw_inter(a, asg.proc, next.proc)
+        }
+    };
+    (
+        app.input_of(asg.interval.first) / bw_in,
+        app.interval_work(asg.interval.first, asg.interval.last) / speed,
+        app.output_of(asg.interval.last) / bw_out,
+    )
+}
+
+/// Pre-refactor `GeneralEvaluator::proc_cycle` (unchanged aggregation over
+/// the oracle ops).
+fn oracle_proc_cycle(
+    apps: &AppSet,
+    platform: &Platform,
+    mapping: &GeneralMapping,
+    u: usize,
+    model: CommModel,
+) -> f64 {
+    let mut sum_in = 0.0;
+    let mut sum_comp = 0.0;
+    let mut sum_out = 0.0;
+    for asg in mapping.assignments.iter().filter(|x| x.proc == u) {
+        let (i, c, o) = oracle_interval_ops(apps, platform, mapping, asg);
+        sum_in += i;
+        sum_comp += c;
+        sum_out += o;
+    }
+    model.combine(sum_in, sum_comp, sum_out)
+}
+
+fn oracle_min_speed(platform: &Platform, asg: &cpo_model::replication::ReplicatedAssignment) -> f64 {
+    asg.procs
+        .iter()
+        .zip(&asg.modes)
+        .map(|(&u, &m)| platform.procs[u].speed(m))
+        .fold(f64::INFINITY, fmin)
+}
+
+fn oracle_min_bw(
+    platform: &Platform,
+    app: usize,
+    from: &cpo_model::replication::ReplicatedAssignment,
+    to: &cpo_model::replication::ReplicatedAssignment,
+) -> f64 {
+    let mut b = f64::INFINITY;
+    for &u in &from.procs {
+        for &v in &to.procs {
+            b = fmin(b, platform.bw_inter(app, u, v));
+        }
+    }
+    b
+}
+
+/// Pre-refactor `ReplicatedEvaluator::app_period`.
+fn oracle_replicated_period(
+    apps: &AppSet,
+    platform: &Platform,
+    mapping: &ReplicatedMapping,
+    app: usize,
+    model: CommModel,
+) -> f64 {
+    let chain = mapping.app_chain(app);
+    let application = &apps.apps[app];
+    let m = chain.len();
+    let mut period = 0.0f64;
+    for (j, asg) in chain.iter().enumerate() {
+        let s = oracle_min_speed(platform, asg);
+        let bw_in = if j == 0 {
+            asg.procs.iter().map(|&u| platform.bw_input(app, u)).fold(f64::INFINITY, fmin)
+        } else {
+            oracle_min_bw(platform, app, chain[j - 1], asg)
+        };
+        let bw_out = if j == m - 1 {
+            asg.procs.iter().map(|&u| platform.bw_output(app, u)).fold(f64::INFINITY, fmin)
+        } else {
+            oracle_min_bw(platform, app, asg, chain[j + 1])
+        };
+        let incoming = application.input_of(asg.interval.first) / bw_in;
+        let compute = application.interval_work(asg.interval.first, asg.interval.last) / s;
+        let outgoing = application.output_of(asg.interval.last) / bw_out;
+        let cycle = model.combine(incoming, compute, outgoing) / asg.r() as f64;
+        period = fmax(period, cycle);
+    }
+    period
+}
+
+/// Pre-refactor `ReplicatedEvaluator::app_latency`.
+fn oracle_replicated_latency(
+    apps: &AppSet,
+    platform: &Platform,
+    mapping: &ReplicatedMapping,
+    app: usize,
+) -> f64 {
+    let chain = mapping.app_chain(app);
+    let application = &apps.apps[app];
+    let m = chain.len();
+    let mut latency = 0.0;
+    for (j, asg) in chain.iter().enumerate() {
+        let s = oracle_min_speed(platform, asg);
+        if j == 0 {
+            let bw_in =
+                asg.procs.iter().map(|&u| platform.bw_input(app, u)).fold(f64::INFINITY, fmin);
+            latency += application.input_of(0) / bw_in;
+        }
+        latency += application.interval_work(asg.interval.first, asg.interval.last) / s;
+        let bw_out = if j == m - 1 {
+            asg.procs.iter().map(|&u| platform.bw_output(app, u)).fold(f64::INFINITY, fmin)
+        } else {
+            oracle_min_bw(platform, app, asg, chain[j + 1])
+        };
+        latency += application.output_of(asg.interval.last) / bw_out;
+    }
+    latency
+}
+
+// ---------------------------------------------------------------------------
+// Instance / mapping generation
+// ---------------------------------------------------------------------------
+
+/// Random valid interval mapping (same shape as the tier-1 suite's).
+fn random_mapping(apps: &AppSet, platform: &Platform, rng: &mut StdRng) -> Option<Mapping> {
+    let mut procs: Vec<usize> = (0..platform.p()).collect();
+    procs.shuffle(rng);
+    let mut mapping = Mapping::new();
+    let mut next = 0usize;
+    for (a, app) in apps.apps.iter().enumerate() {
+        let mut first = 0usize;
+        while first < app.n() {
+            let last = rng.gen_range(first..app.n());
+            if next >= procs.len() {
+                return None;
+            }
+            let u = procs[next];
+            next += 1;
+            let mode = rng.gen_range(0..platform.procs[u].modes());
+            mapping.push(Interval::new(a, first, last), u, mode);
+            first = last + 1;
+        }
+    }
+    Some(mapping)
+}
+
+/// Replicated variant: each interval of a plain mapping gets 1–3 replicas.
+fn random_replicated(
+    apps: &AppSet,
+    platform: &Platform,
+    rng: &mut StdRng,
+) -> Option<ReplicatedMapping> {
+    let plain = random_mapping(apps, platform, rng)?;
+    let used: Vec<usize> = plain.assignments.iter().map(|a| a.proc).collect();
+    let free: Vec<usize> = (0..platform.p()).filter(|u| !used.contains(u)).collect();
+    let mut pool = free.into_iter();
+    let mut out = ReplicatedMapping::new();
+    for asg in &plain.assignments {
+        let mut procs = vec![asg.proc];
+        let mut modes = vec![asg.mode];
+        for _ in 0..rng.gen_range(0..3) {
+            if let Some(u) = pool.next() {
+                procs.push(u);
+                modes.push(rng.gen_range(0..platform.procs[u].modes()));
+            }
+        }
+        out.push(asg.interval, procs, modes);
+    }
+    Some(out)
+}
+
+/// General variant: a plain mapping re-dealt onto few processors so some
+/// host several intervals (possibly of different applications).
+fn random_general(apps: &AppSet, platform: &Platform, rng: &mut StdRng) -> GeneralMapping {
+    let k = rng.gen_range(1..=platform.p());
+    let mut out = GeneralMapping::new();
+    for (a, app) in apps.apps.iter().enumerate() {
+        let mut first = 0usize;
+        while first < app.n() {
+            let last = rng.gen_range(first..app.n());
+            let u = rng.gen_range(0..k);
+            let mode = rng.gen_range(0..platform.procs[u].modes());
+            out.push(Interval::new(a, first, last), u, mode);
+            first = last + 1;
+        }
+    }
+    out
+}
+
+/// The three dedicated link shapes over one random processor set.
+fn dedicated_platforms(apps: &AppSet, seed: u64) -> Vec<Platform> {
+    let uniform = random_fully_homogeneous(
+        &PlatformGenConfig { procs: apps.total_stages() + 2, modes: (1, 3), ..Default::default() },
+        seed,
+    );
+    let comm_hom = random_comm_homogeneous(
+        &PlatformGenConfig { procs: apps.total_stages() + 2, modes: (2, 3), ..Default::default() },
+        seed + 1,
+    );
+    let per_app = Platform::new(
+        comm_hom.procs.clone(),
+        Links::PerApp((0..apps.a()).map(|a| 0.5 + a as f64).collect()),
+    )
+    .unwrap();
+    let het = random_fully_heterogeneous(
+        &PlatformGenConfig { procs: apps.total_stages() + 2, modes: (2, 3), ..Default::default() },
+        apps.a(),
+        seed + 2,
+    );
+    vec![uniform, comm_hom, per_app, het]
+}
+
+const MODELS: [CommModel; 2] = [CommModel::Overlap, CommModel::NoOverlap];
+
+fn assert_bits(new: f64, old: f64, what: &str) {
+    assert_eq!(new.to_bits(), old.to_bits(), "{what}: {new} vs {old}");
+}
+
+// ---------------------------------------------------------------------------
+// The soaks
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// `transfer_time_*` on dedicated platforms is the historical bare
+    /// division, for every links shape and payload (zero included: the
+    /// result must stay `+0.0`, not `-0.0`).
+    #[test]
+    fn transfer_primitives_are_bare_divisions(seed in 0u64..100_000) {
+        let apps = random_apps(
+            &AppGenConfig { apps: 2, stages: (1, 4), data: (0.0, 5.0), ..Default::default() },
+            seed,
+        );
+        for pf in dedicated_platforms(&apps, seed + 10_000) {
+            for a in 0..apps.a() {
+                for u in 0..pf.p() {
+                    for &bytes in &[0.0, 1.0, 3.5, apps.apps[a].input] {
+                        assert_bits(
+                            pf.transfer_time_input(a, u, bytes),
+                            bytes / pf.bw_input(a, u),
+                            "input",
+                        );
+                        assert_bits(
+                            pf.transfer_time_output(a, u, bytes),
+                            bytes / pf.bw_output(a, u),
+                            "output",
+                        );
+                        for v in 0..pf.p() {
+                            assert_bits(
+                                pf.transfer_time_inter(a, u, v, bytes),
+                                bytes / pf.bw_inter(a, u, v),
+                                "inter",
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Plain-mapping evaluation matches the pre-refactor oracle bit for
+    /// bit: every breakdown term, app period/latency, and the full
+    /// `evaluate` aggregate.
+    #[test]
+    fn plain_evaluator_matches_pre_refactor_oracle(seed in 0u64..100_000) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0D0C);
+        let apps = random_apps(
+            &AppGenConfig { apps: 2, stages: (1, 4), data: (0.0, 5.0), ..Default::default() },
+            seed,
+        );
+        for pf in dedicated_platforms(&apps, seed + 10_000) {
+            let Some(mapping) = random_mapping(&apps, &pf, &mut rng) else { continue };
+            let eval = Evaluator::new(&apps, &pf);
+            for a in 0..apps.a() {
+                let new = eval.chain_breakdown(&mapping, a);
+                let old = oracle_chain_breakdown(&apps, &pf, &mapping, a);
+                prop_assert_eq!(new.len(), old.len());
+                for (n, o) in new.iter().zip(&old) {
+                    assert_bits(n.incoming, o.0, "breakdown incoming");
+                    assert_bits(n.compute, o.1, "breakdown compute");
+                    assert_bits(n.outgoing, o.2, "breakdown outgoing");
+                }
+                for model in MODELS {
+                    let t = old.iter().map(|&(i, c, o)| model.combine(i, c, o)).fold(0.0, fmax);
+                    assert_bits(eval.app_period(&mapping, a, model), t, "app period");
+                }
+                let mut l = old[0].0;
+                for &(_, c, o) in &old {
+                    l += c + o;
+                }
+                assert_bits(eval.app_latency(&mapping, a), l, "app latency");
+            }
+        }
+    }
+
+    /// General (shared-processor) evaluation matches its pre-refactor
+    /// oracle on every per-processor cycle and the global aggregates.
+    #[test]
+    fn general_evaluator_matches_pre_refactor_oracle(seed in 0u64..100_000) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6E4E);
+        let apps = random_apps(
+            &AppGenConfig { apps: 2, stages: (1, 3), data: (0.0, 5.0), ..Default::default() },
+            seed,
+        );
+        for pf in dedicated_platforms(&apps, seed + 10_000) {
+            let mapping = random_general(&apps, &pf, &mut rng);
+            let eval = GeneralEvaluator::new(&apps, &pf);
+            for model in MODELS {
+                for u in 0..pf.p() {
+                    assert_bits(
+                        eval.proc_cycle(&mapping, u, model),
+                        oracle_proc_cycle(&apps, &pf, &mapping, u, model),
+                        "general proc cycle",
+                    );
+                }
+            }
+        }
+    }
+
+    /// Replicated evaluation matches its pre-refactor oracle on every
+    /// app period and latency.
+    #[test]
+    fn replicated_evaluator_matches_pre_refactor_oracle(seed in 0u64..100_000) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x4E97);
+        let apps = random_apps(
+            &AppGenConfig { apps: 2, stages: (1, 3), data: (0.0, 5.0), ..Default::default() },
+            seed,
+        );
+        for pf in dedicated_platforms(&apps, seed + 10_000) {
+            let Some(mapping) = random_replicated(&apps, &pf, &mut rng) else { continue };
+            let eval = ReplicatedEvaluator::new(&apps, &pf);
+            for a in 0..apps.a() {
+                for model in MODELS {
+                    assert_bits(
+                        eval.app_period(&mapping, a, model),
+                        oracle_replicated_period(&apps, &pf, &mapping, a, model),
+                        "replicated period",
+                    );
+                }
+                assert_bits(
+                    eval.app_latency(&mapping, a),
+                    oracle_replicated_latency(&apps, &pf, &mapping, a),
+                    "replicated latency",
+                );
+            }
+        }
+    }
+
+    /// The conservative limit: a zero-hop-latency multistage fabric prices
+    /// every mapping exactly like the uniform dedicated platform it
+    /// shadows — the gated overhead add must not so much as flip a sign
+    /// bit on zero-size payloads.
+    #[test]
+    fn zero_latency_fabric_equals_uniform_links(seed in 0u64..100_000) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xFAB0);
+        let apps = random_apps(
+            &AppGenConfig { apps: 2, stages: (1, 4), data: (0.0, 5.0), ..Default::default() },
+            seed,
+        );
+        let dedicated = random_fully_homogeneous(
+            &PlatformGenConfig {
+                procs: apps.total_stages() + 2,
+                modes: (1, 3),
+                ..Default::default()
+            },
+            seed + 10_000,
+        );
+        let b = match dedicated.links {
+            Links::Uniform(b) => b,
+            _ => unreachable!("fully homogeneous platforms have uniform links"),
+        };
+        let fabric = Platform::multistage(
+            dedicated.procs.clone(),
+            MultistageNetwork::new(b, 0.0).unwrap(),
+        )
+        .unwrap();
+        let Some(mapping) = random_mapping(&apps, &dedicated, &mut rng) else { return };
+        let ev_d = Evaluator::new(&apps, &dedicated);
+        let ev_f = Evaluator::new(&apps, &fabric);
+        for model in MODELS {
+            let d = ev_d.evaluate(&mapping, model);
+            let f = ev_f.evaluate(&mapping, model);
+            assert_bits(f.period, d.period, "fabric period");
+            assert_bits(f.latency, d.latency, "fabric latency");
+            assert_bits(f.energy, d.energy, "fabric energy");
+        }
+    }
+}

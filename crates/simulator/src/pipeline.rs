@@ -124,6 +124,14 @@ pub fn simulate_with_buffers(
     datasets: usize,
     capacity: usize,
 ) -> SimReport {
+    // Wavefront eligibility: the routed communication pattern must be
+    // regular (one Benes rearrangement round, i.e. contention-free wires).
+    // Valid plain mappings always qualify — on both topologies — so this
+    // only drops to the DAG oracle with its serialization model for
+    // irregular flow multisets.
+    if fabric_rounds(apps, platform, mapping) > 1 {
+        return build_and_run(apps, platform, mapping, model, datasets, capacity).0;
+    }
     simulate_wavefront(apps, platform, mapping, model, datasets, capacity, true)
 }
 
@@ -173,23 +181,54 @@ pub enum OpMeta {
 /// Per-edge transfer durations (`m + 1` entries, input edge first, output
 /// edge last) and per-node compute durations (`m` entries) of one
 /// application's chain — the duration vocabulary both simulator cores
-/// share.
+/// share. Topology-aware: on `Dedicated` platforms every entry is exactly
+/// the historical `δ / bw` division (bit for bit); on `Multistage`
+/// platforms the interior edges carry the fabric traversal overhead.
 pub(crate) fn chain_durations(
     app: &cpo_model::application::Application,
     a: usize,
     platform: &Platform,
     chain: &[Assignment],
 ) -> (Vec<f64>, Vec<f64>) {
+    chain_durations_with(app, a, platform, chain, 1)
+}
+
+/// [`chain_durations`] with an explicit fabric **contention factor**: when
+/// `contention > 1` every interior transfer that actually crosses the
+/// multistage fabric is stretched by that factor — the conservative
+/// serialization model for flow patterns the Benes network can only route
+/// in `contention` rearrangement rounds. Plain interval/one-to-one
+/// mappings always route in one round ([`fabric_rounds`] returns 1), so
+/// this path only fires for irregular extensions.
+pub(crate) fn chain_durations_with(
+    app: &cpo_model::application::Application,
+    a: usize,
+    platform: &Platform,
+    chain: &[Assignment],
+    contention: usize,
+) -> (Vec<f64>, Vec<f64>) {
     let m = chain.len();
     let transfer: Vec<f64> = (0..=m)
         .map(|j| {
             if j == 0 {
-                app.input / platform.bw_input(a, chain[0].proc)
+                platform.transfer_time_input(a, chain[0].proc, app.input)
             } else if j == m {
-                app.result_size() / platform.bw_output(a, chain[m - 1].proc)
+                platform.transfer_time_output(a, chain[m - 1].proc, app.result_size())
             } else {
-                app.input_of(chain[j].interval.first)
-                    / platform.bw_inter(a, chain[j - 1].proc, chain[j].proc)
+                let t = platform.transfer_time_inter(
+                    a,
+                    chain[j - 1].proc,
+                    chain[j].proc,
+                    app.input_of(chain[j].interval.first),
+                );
+                if contention > 1
+                    && platform.is_multistage()
+                    && chain[j - 1].proc != chain[j].proc
+                {
+                    t * contention as f64
+                } else {
+                    t
+                }
             }
         })
         .collect();
@@ -201,6 +240,35 @@ pub(crate) fn chain_durations(
         })
         .collect();
     (transfer, compute)
+}
+
+/// Number of Benes rearrangement rounds needed to route the mapping's
+/// inter-processor flows through a multistage fabric — the simulator's
+/// wavefront-eligibility certificate. `1` on dedicated links, and `1` on
+/// multistage platforms whenever the flow pattern is a partial
+/// permutation (always true for valid plain mappings: each enrolled
+/// processor hosts one interval, hence at most one predecessor edge and
+/// one successor edge). A value above 1 means shared-wire contention:
+/// the DAG oracle then runs with the conservative serialization model of
+/// [`chain_durations_with`], and the wavefront fast path is skipped.
+pub(crate) fn fabric_rounds(apps: &AppSet, platform: &Platform, mapping: &Mapping) -> usize {
+    if !platform.is_multistage() {
+        return 1;
+    }
+    let mut flows: Vec<(usize, usize)> = Vec::new();
+    for a in 0..apps.a() {
+        let chain = mapping.app_chain(a);
+        for w in chain.windows(2) {
+            if w[0].proc != w[1].proc {
+                flows.push((w[0].proc, w[1].proc));
+            }
+        }
+    }
+    if flows.is_empty() {
+        return 1;
+    }
+    let net = cpo_matching::BenesNetwork::with_capacity_for(platform.p());
+    net.route_rounds(&flows).len().max(1)
 }
 
 /// Average inter-completion gap over the second half of the run (NaN for
@@ -259,10 +327,15 @@ pub(crate) fn build_and_run(
     let cpu_res: Vec<_> = (0..platform.p()).map(|_| engine.add_resource()).collect();
 
     let mut per_app_outputs: Vec<Vec<usize>> = Vec::with_capacity(apps.a());
+    // The DAG oracle models routed-path contention: flow multisets the
+    // Benes fabric needs several rearrangement rounds for get their
+    // crossing transfers stretched accordingly (factor 1 — a no-op — for
+    // every valid plain mapping and for all dedicated platforms).
+    let rounds = fabric_rounds(apps, platform, mapping);
     for (a, app) in apps.apps.iter().enumerate() {
         let chain = mapping.app_chain(a);
         let m = chain.len();
-        let (transfer_time, compute_time) = chain_durations(app, a, platform, &chain);
+        let (transfer_time, compute_time) = chain_durations_with(app, a, platform, &chain, rounds);
 
         // Operation ids of the previous data set, plus the full compute
         // history per node for the bounded-buffer dependency.
@@ -527,5 +600,63 @@ mod tests {
         let (apps, pf) = section2_example();
         let broken = Mapping::new().with(Interval::new(0, 0, 2), 0, 0);
         let _ = simulate(&apps, &pf, &broken, CommModel::Overlap, 4);
+    }
+
+    #[test]
+    fn fabric_rounds_certifies_valid_mappings() {
+        use cpo_model::platform::Processor;
+        use cpo_model::topology::MultistageNetwork;
+        let (apps, pf) = section2_example();
+        let mapping = period_mapping();
+        // Dedicated links never need rearrangement rounds.
+        assert_eq!(fabric_rounds(&apps, &pf, &mapping), 1);
+        // Valid plain mappings are partial permutations: one round on a
+        // fabric too, so the wavefront fast path stays eligible.
+        let fabric = Platform::multistage(
+            pf.procs.clone(),
+            MultistageNetwork::new(1.0, 0.1).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(fabric_rounds(&apps, &fabric, &mapping), 1);
+        // An irregular flow multiset (two flows leaving processor 0 —
+        // impossible for a validated plain mapping, reachable only from
+        // future irregular extensions) needs several rounds: the DAG
+        // oracle then serializes the crossing transfers.
+        let fabric4 = Platform::multistage(
+            vec![Processor::new(vec![1.0]).unwrap(); 4],
+            MultistageNetwork::new(1.0, 0.1).unwrap(),
+        )
+        .unwrap();
+        let irregular = Mapping::new()
+            .with(Interval::new(0, 0, 0), 0, 0)
+            .with(Interval::new(0, 1, 2), 1, 0)
+            .with(Interval::new(1, 0, 1), 0, 0)
+            .with(Interval::new(1, 2, 3), 2, 0);
+        assert!(fabric_rounds(&apps, &fabric4, &irregular) > 1);
+    }
+
+    #[test]
+    fn contention_stretches_only_interior_crossing_edges() {
+        use cpo_model::application::Application;
+        use cpo_model::platform::Processor;
+        use cpo_model::topology::MultistageNetwork;
+        let app = Application::from_pairs(4.0, &[(2.0, 3.0), (1.0, 5.0)]);
+        let fabric = Platform::multistage(
+            vec![Processor::new(vec![1.0]).unwrap(); 4],
+            MultistageNetwork::new(1.0, 0.5).unwrap(),
+        )
+        .unwrap();
+        let mapping = Mapping::new()
+            .with(Interval::new(0, 0, 0), 0, 0)
+            .with(Interval::new(0, 1, 1), 1, 0);
+        let chain = mapping.app_chain(0);
+        let (base, _) = chain_durations_with(&app, 0, &fabric, &chain, 1);
+        let (stretched, _) = chain_durations_with(&app, 0, &fabric, &chain, 3);
+        // Input and output edges ride the dedicated front-end links:
+        // untouched by contention.
+        assert_eq!(base[0].to_bits(), stretched[0].to_bits());
+        assert_eq!(base[2].to_bits(), stretched[2].to_bits());
+        // The interior crossing edge is serialized across the rounds.
+        assert_eq!(stretched[1].to_bits(), (base[1] * 3.0).to_bits());
     }
 }

@@ -1,0 +1,163 @@
+//! Multistage fabrics in the simulator:
+//!
+//! * on valid plain mappings the routed flow pattern is a partial
+//!   permutation, the wavefront-eligibility certificate fires
+//!   (`fabric_rounds == 1`), and the wavefront fast path must agree
+//!   **bit for bit** with the discrete-event DAG oracle — hop overhead
+//!   included;
+//! * a fabric with zero hop latency reproduces the uniform dedicated
+//!   platform's reports bitwise (the refactor is conservative);
+//! * an irregular flow multiset (several flows leaving one processor)
+//!   drops to the DAG oracle with the serialization model, and can only
+//!   slow execution down relative to dedicated links.
+
+use cpo_model::generator::{random_apps, random_fully_homogeneous, AppGenConfig, PlatformGenConfig};
+use cpo_model::prelude::*;
+use cpo_simulator::{simulate_reference_dag, simulate_with_buffers, SimReport};
+use proptest::prelude::*;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Random valid interval mapping (same shape as the tier-1 suite's).
+fn random_mapping(apps: &AppSet, platform: &Platform, rng: &mut StdRng) -> Option<Mapping> {
+    let mut procs: Vec<usize> = (0..platform.p()).collect();
+    procs.shuffle(rng);
+    let mut mapping = Mapping::new();
+    let mut next = 0usize;
+    for (a, app) in apps.apps.iter().enumerate() {
+        let mut first = 0usize;
+        while first < app.n() {
+            let last = rng.gen_range(first..app.n());
+            if next >= procs.len() {
+                return None;
+            }
+            let u = procs[next];
+            next += 1;
+            let mode = rng.gen_range(0..platform.procs[u].modes());
+            mapping.push(Interval::new(a, first, last), u, mode);
+            first = last + 1;
+        }
+    }
+    Some(mapping)
+}
+
+/// Every float in the two reports, compared by bit pattern.
+fn assert_bitwise(a: &SimReport, b: &SimReport, what: &str) {
+    assert_eq!(a.apps.len(), b.apps.len(), "{what}: app count");
+    for (i, (x, y)) in a.apps.iter().zip(&b.apps).enumerate() {
+        assert_eq!(x.completions.len(), y.completions.len(), "{what}: app {i} completions len");
+        for (d, (c1, c2)) in x.completions.iter().zip(&y.completions).enumerate() {
+            assert_eq!(c1.to_bits(), c2.to_bits(), "{what}: app {i} data set {d}: {c1} vs {c2}");
+        }
+        assert_eq!(x.first_latency.to_bits(), y.first_latency.to_bits(), "{what}: app {i} latency");
+        assert_eq!(
+            x.measured_period.to_bits(),
+            y.measured_period.to_bits(),
+            "{what}: app {i} period"
+        );
+    }
+    assert_eq!(a.period.to_bits(), b.period.to_bits(), "{what}: period");
+    assert_eq!(a.latency.to_bits(), b.latency.to_bits(), "{what}: latency");
+    assert_eq!(a.makespan.to_bits(), b.makespan.to_bits(), "{what}: makespan");
+}
+
+fn fabric_twin(dedicated: &Platform, hop_latency: f64) -> Platform {
+    let b = match dedicated.links {
+        Links::Uniform(b) => b,
+        _ => unreachable!("twin construction needs uniform links"),
+    };
+    Platform::multistage(dedicated.procs.clone(), MultistageNetwork::new(b, hop_latency).unwrap())
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Valid plain mappings route in one rearrangement round, so the
+    /// wavefront stays eligible on fabrics and must equal the DAG oracle
+    /// bitwise — with real (non-zero) hop overhead in every interior edge.
+    #[test]
+    fn fabric_wavefront_matches_dag_bitwise(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xBE2E5);
+        let apps = random_apps(
+            &AppGenConfig { apps: 1 + (seed % 3) as usize, stages: (1, 5), ..Default::default() },
+            seed,
+        );
+        let dedicated = random_fully_homogeneous(
+            &PlatformGenConfig { procs: apps.total_stages() + 2, ..Default::default() },
+            seed + 1,
+        );
+        let fabric = fabric_twin(&dedicated, 0.25);
+        let Some(mapping) = random_mapping(&apps, &fabric, &mut rng) else { return };
+        let datasets = 2 + (seed % 40) as usize;
+        for model in [CommModel::Overlap, CommModel::NoOverlap] {
+            for capacity in [usize::MAX, 2] {
+                let wf = simulate_with_buffers(&apps, &fabric, &mapping, model, datasets, capacity);
+                let dag = simulate_reference_dag(&apps, &fabric, &mapping, model, datasets, capacity);
+                assert_bitwise(&wf, &dag, "fabric wavefront vs dag");
+            }
+        }
+    }
+
+    /// Zero hop latency: the fabric simulation is the dedicated
+    /// simulation, bit for bit, on both engines.
+    #[test]
+    fn zero_latency_fabric_simulates_equal_dedicated(seed in 0u64..1_000_000) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0FAB);
+        let apps = random_apps(
+            &AppGenConfig { apps: 2, stages: (1, 5), ..Default::default() },
+            seed,
+        );
+        let dedicated = random_fully_homogeneous(
+            &PlatformGenConfig { procs: apps.total_stages() + 2, ..Default::default() },
+            seed + 1,
+        );
+        let fabric = fabric_twin(&dedicated, 0.0);
+        let Some(mapping) = random_mapping(&apps, &dedicated, &mut rng) else { return };
+        let datasets = 2 + (seed % 40) as usize;
+        for model in [CommModel::Overlap, CommModel::NoOverlap] {
+            let d = simulate_with_buffers(&apps, &dedicated, &mapping, model, datasets, 3);
+            let f = simulate_with_buffers(&apps, &fabric, &mapping, model, datasets, 3);
+            assert_bitwise(&d, &f, "dedicated vs zero-latency fabric");
+            let dd = simulate_reference_dag(&apps, &dedicated, &mapping, model, datasets, 3);
+            let fd = simulate_reference_dag(&apps, &fabric, &mapping, model, datasets, 3);
+            assert_bitwise(&dd, &fd, "dedicated vs zero-latency fabric (dag)");
+        }
+    }
+}
+
+/// A chain split across two processors on a real fabric: the interior
+/// edge pays the stage-traversal overhead, so the fabric run is strictly
+/// slower than the dedicated twin — while the I/O edges stay front-end
+/// priced and every completion still agrees across both engines. (Flow
+/// multisets needing several rearrangement rounds cannot arise from valid
+/// plain mappings — each enrolled processor hosts one interval, so the
+/// traffic is a partial permutation; the serialization path is exercised
+/// by the `pipeline` unit tests that can bypass mapping validation.)
+#[test]
+fn hop_overhead_is_visible_on_crossing_edges() {
+    let app = cpo_model::application::Application::from_pairs(1.0, &[(2.0, 3.0), (1.0, 0.0)]);
+    let apps = AppSet::single(app);
+    let dedicated = Platform::fully_homogeneous(2, vec![1.0], 1.0).unwrap();
+    let fabric = fabric_twin(&dedicated, 0.5);
+    let mapping = Mapping::new()
+        .with(Interval::new(0, 0, 0), 0, 0)
+        .with(Interval::new(0, 1, 1), 1, 0);
+    for model in [CommModel::Overlap, CommModel::NoOverlap] {
+        let f = simulate_with_buffers(&apps, &fabric, &mapping, model, 16, usize::MAX);
+        let dag = simulate_reference_dag(&apps, &fabric, &mapping, model, 16, usize::MAX);
+        assert_bitwise(&f, &dag, "fabric run vs dag");
+        let d = simulate_with_buffers(&apps, &dedicated, &mapping, model, 16, usize::MAX);
+        assert!(
+            f.makespan > d.makespan,
+            "hop overhead must slow the crossing edge: {} vs {}",
+            f.makespan,
+            d.makespan
+        );
+        for (fa, da) in f.apps.iter().zip(&d.apps) {
+            for (cf, cd) in fa.completions.iter().zip(&da.completions) {
+                assert!(cf >= cd, "fabric completion earlier than dedicated: {cf} < {cd}");
+            }
+        }
+    }
+}
