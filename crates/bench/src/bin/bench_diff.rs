@@ -20,6 +20,18 @@
 //! regression signal. Keys present in only one report are listed but never
 //! fail the job (new benchmarks appear, old ones get renamed). The parser
 //! is hand-rolled for exactly the shim's flat format — no JSON dependency.
+//!
+//! ```text
+//! bench_diff --trajectory BENCH_PR2.json BENCH_PR3.json ... [current.json]
+//! ```
+//!
+//! Trajectory mode reads *every* committed per-PR baseline (sorted by the
+//! trailing number in the file name, so `BENCH_PR10` follows `BENCH_PR9`)
+//! and prints a per-key markdown table of medians across snapshots, plus
+//! the cumulative ratio `last / first`. Cumulative drift beyond the fail
+//! ratio on a key above `--min-fail-ns` gets a `::warning::` annotation —
+//! trajectory mode is observability across PRs, not a gate, so it always
+//! exits 0 (2 on usage errors).
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
@@ -51,11 +63,94 @@ fn parse_report(text: &str) -> BTreeMap<String, f64> {
     out
 }
 
+/// Sort key for baseline file names: the trailing integer when there is
+/// one (`BENCH_PR10.json` → 10), so numeric PR order beats lexicographic.
+fn snapshot_order(path: &str) -> (u64, String) {
+    let stem = path.rsplit('/').next().unwrap_or(path).trim_end_matches(".json");
+    let digits: String =
+        stem.chars().rev().take_while(|c| c.is_ascii_digit()).collect::<String>();
+    let n = digits.chars().rev().collect::<String>().parse().unwrap_or(u64::MAX);
+    (n, path.to_string())
+}
+
+fn trajectory(files: &[String], fail_ratio: f64, min_fail_ns: f64) -> ExitCode {
+    let mut ordered = files.to_vec();
+    ordered.sort_by_key(|f| snapshot_order(f));
+    let mut snapshots: Vec<(String, BTreeMap<String, f64>)> = Vec::new();
+    for path in &ordered {
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let label = path
+                    .rsplit('/')
+                    .next()
+                    .unwrap_or(path)
+                    .trim_end_matches(".json")
+                    .to_string();
+                snapshots.push((label, parse_report(&text)));
+            }
+            Err(e) => {
+                eprintln!("bench_diff: cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if snapshots.len() < 2 {
+        eprintln!("bench_diff --trajectory needs at least two baseline files");
+        return ExitCode::from(2);
+    }
+    let keys: std::collections::BTreeSet<&String> =
+        snapshots.iter().flat_map(|(_, m)| m.keys()).collect();
+    print!("| benchmark |");
+    for (label, _) in &snapshots {
+        print!(" {label} |");
+    }
+    println!(" last/first |");
+    print!("|---|");
+    for _ in &snapshots {
+        print!("---|");
+    }
+    println!("---|");
+    let mut drifting = 0usize;
+    for key in keys {
+        let series: Vec<Option<f64>> = snapshots.iter().map(|(_, m)| m.get(key).copied()).collect();
+        print!("| {key} |");
+        for v in &series {
+            match v {
+                Some(ns) => print!(" {ns:.0} |"),
+                None => print!(" — |"),
+            }
+        }
+        let present: Vec<f64> = series.iter().flatten().copied().collect();
+        let (first, last) = (present.first(), present.last());
+        match (first, last) {
+            (Some(&f), Some(&l)) if f > 0.0 && present.len() >= 2 => {
+                let ratio = l / f;
+                println!(" {ratio:.2}x |");
+                if ratio > fail_ratio && f >= min_fail_ns {
+                    drifting += 1;
+                    println!(
+                        "::warning::bench trajectory drift {key}: {f:.0} ns -> {l:.0} ns \
+                         ({ratio:.2}x across {} snapshots)",
+                        present.len()
+                    );
+                }
+            }
+            _ => println!(" — |"),
+        }
+    }
+    println!(
+        "bench_diff: trajectory over {} snapshots, {drifting} keys drifting beyond {fail_ratio}x",
+        snapshots.len()
+    );
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut fail_ratio = 2.0f64;
     let mut warn_ratio = 1.2f64;
     let mut min_fail_ns = 100_000.0f64;
+    let mut trajectory_mode = false;
     let mut files = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -69,13 +164,19 @@ fn main() -> ExitCode {
             "--min-fail-ns" => {
                 min_fail_ns = it.next().and_then(|v| v.parse().ok()).unwrap_or(min_fail_ns)
             }
+            "--trajectory" => trajectory_mode = true,
             other => files.push(other.to_string()),
         }
+    }
+    if trajectory_mode {
+        return trajectory(&files, fail_ratio, min_fail_ns);
     }
     if files.len() != 2 {
         eprintln!(
             "usage: bench_diff <baseline.json> <current.json> \
-             [--fail-ratio R] [--warn-ratio R] [--min-fail-ns N]"
+             [--fail-ratio R] [--warn-ratio R] [--min-fail-ns N]\n\
+             \x20      bench_diff --trajectory <snap1.json> <snap2.json> [...] \
+             [--fail-ratio R] [--min-fail-ns N]"
         );
         return ExitCode::from(2);
     }
@@ -154,5 +255,18 @@ mod tests {
         assert!(parse_report("").is_empty());
         assert!(parse_report("{}").is_empty());
         assert!(parse_report("not json at all").is_empty());
+    }
+
+    #[test]
+    fn snapshot_order_is_numeric_not_lexicographic() {
+        let mut files = vec![
+            "BENCH_PR10.json".to_string(),
+            "BENCH_PR2.json".to_string(),
+            "bench/BENCH_PR9.json".to_string(),
+        ];
+        files.sort_by_key(|f| super::snapshot_order(f));
+        assert_eq!(files, ["BENCH_PR2.json", "bench/BENCH_PR9.json", "BENCH_PR10.json"]);
+        // Files without a trailing number sort last, by name.
+        assert_eq!(super::snapshot_order("current.json").0, u64::MAX);
     }
 }

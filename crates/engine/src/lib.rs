@@ -36,7 +36,7 @@
 //!   can report progress or forward results while the batch continues.
 
 use cpo_core::router::{plan, route_planned, route_with, Plan, RouterScratch};
-use cpo_model::hash::{hash_instance, hash_spec};
+use cpo_model::hash::{digest_hex, hash_instance, hash_spec};
 use cpo_model::prelude::*;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -105,25 +105,36 @@ pub struct EngineConfig {
     /// they save). `0` disables the cutoff — `threads` is then honored
     /// unconditionally. Outcomes are bitwise identical either way.
     pub min_parallel_cost: u64,
+    /// Fault injection for the degrade-path regression tests: panic in
+    /// the batch loop — *outside* the per-item router backstop — when
+    /// this item index is reached. Never set in production; exercises the
+    /// worker-level guard that keeps one poisoned item from killing a
+    /// batch.
+    pub debug_panic_on_item: Option<usize>,
 }
 
 impl Default for EngineConfig {
     /// One worker per core, cache on, default cutoff.
     fn default() -> Self {
-        EngineConfig { threads: 0, cache: true, min_parallel_cost: DEFAULT_PARALLEL_CUTOFF }
+        EngineConfig {
+            threads: 0,
+            cache: true,
+            min_parallel_cost: DEFAULT_PARALLEL_CUTOFF,
+            debug_panic_on_item: None,
+        }
     }
 }
 
 impl EngineConfig {
     /// Sequential, cache off: dispatch overhead only.
     pub fn sequential() -> Self {
-        EngineConfig { threads: 1, cache: false, min_parallel_cost: DEFAULT_PARALLEL_CUTOFF }
+        EngineConfig { threads: 1, cache: false, ..EngineConfig::default() }
     }
 
     /// Parallel over up to `threads` workers (cutoff permitting), cache
     /// on.
     pub fn with_threads(threads: usize) -> Self {
-        EngineConfig { threads, cache: true, min_parallel_cost: DEFAULT_PARALLEL_CUTOFF }
+        EngineConfig { threads, ..EngineConfig::default() }
     }
 
     /// Replace the adaptive parallel cutoff (`0` = always honor
@@ -132,6 +143,58 @@ impl EngineConfig {
         self.min_parallel_cost = min_parallel_cost;
         self
     }
+}
+
+/// The parsed form of a structured panic-backstop reason — see
+/// [`panic_details`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PanicDetails {
+    /// Batch item index (`None` for single solves).
+    pub item_index: Option<usize>,
+    /// Structural digest of (apps, platform), lowercase hex.
+    pub instance_digest: String,
+    /// Structural digest of the problem spec, lowercase hex.
+    pub spec_digest: String,
+    /// The panic payload, stringified.
+    pub payload: String,
+}
+
+/// Parse the structured reason carried by the engine's panic backstop
+/// (`SolveOutcome::Unsupported` with a `"solver panicked: ..."` reason).
+/// Returns `None` for reasons the backstop didn't produce, so callers can
+/// distinguish panics from ordinary unsupported combinations.
+pub fn panic_details(reason: &str) -> Option<PanicDetails> {
+    let rest = reason.strip_prefix("solver panicked: item=")?;
+    let (item, rest) = rest.split_once(" instance=")?;
+    let (instance, rest) = rest.split_once(" spec=")?;
+    let (spec, payload) = rest.split_once(" payload=")?;
+    Some(PanicDetails {
+        item_index: if item == "-" { None } else { item.parse().ok() },
+        instance_digest: instance.to_string(),
+        spec_digest: spec.to_string(),
+        payload: payload.to_string(),
+    })
+}
+
+/// Stringify a caught panic payload.
+fn panic_payload(panic: &(dyn std::any::Any + Send)) -> String {
+    panic
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| panic.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "unknown panic".into())
+}
+
+/// The structured backstop reason: stable `"solver panicked:"` prefix,
+/// then item index, instance/spec digests and the payload —
+/// machine-parseable by [`panic_details`] (bundle export feeds on it).
+fn structured_panic_reason(index: Option<usize>, item: &BatchItem<'_>, payload: &str) -> String {
+    format!(
+        "solver panicked: item={} instance={} spec={} payload={payload}",
+        index.map_or_else(|| "-".to_string(), |i| i.to_string()),
+        digest_hex(hash_instance(item.apps, item.platform)),
+        digest_hex(hash_spec(item.spec)),
+    )
 }
 
 /// Memo-cache counters (monotone over the engine's lifetime).
@@ -174,7 +237,7 @@ impl Engine {
         let item = BatchItem::new(apps, platform, spec);
         let ikey = self.cfg.cache.then(|| item.instance_key());
         let mut scratch = RouterScratch::new();
-        self.solve_item(&item, ikey, None, &mut scratch)
+        self.solve_item(None, &item, ikey, None, &mut scratch)
     }
 
     /// Solve a batch; `results[i]` answers `items[i]`.
@@ -206,7 +269,8 @@ impl Engine {
                 .zip(&plans)
                 .enumerate()
                 .map(|(i, ((item, ikey), planned))| {
-                    let out = self.solve_item(item, *ikey, planned.as_ref(), &mut scratch);
+                    let out =
+                        self.solve_item_guarded(i, item, *ikey, planned.as_ref(), &mut scratch);
                     on_result(i, &out);
                     out
                 })
@@ -216,31 +280,47 @@ impl Engine {
         let cursor = AtomicUsize::new(0);
         let slots: Vec<Mutex<Option<SolveOutcome>>> =
             (0..n).map(|_| Mutex::new(None)).collect();
-        crossbeam::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|_| {
-                    let mut scratch = RouterScratch::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= n {
-                            break;
+        // Workers catch their own panics item-by-item (solve_item_guarded),
+        // so nothing should unwind through the scope join; the outer
+        // catch_unwind is belt-and-braces for a panic in the caller's
+        // `on_result` — any slots left unfilled degrade to typed outcomes
+        // below instead of aborting the process.
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            crossbeam::scope(|scope| {
+                for _ in 0..threads {
+                    scope.spawn(|_| {
+                        let mut scratch = RouterScratch::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            let out = self.solve_item_guarded(
+                                i,
+                                &items[i],
+                                instance_keys[i],
+                                plans[i].as_ref(),
+                                &mut scratch,
+                            );
+                            on_result(i, &out);
+                            *slots[i].lock() = Some(out);
                         }
-                        let out = self.solve_item(
-                            &items[i],
-                            instance_keys[i],
-                            plans[i].as_ref(),
-                            &mut scratch,
-                        );
-                        on_result(i, &out);
-                        *slots[i].lock() = Some(out);
-                    }
-                });
-            }
-        })
-        .expect("engine worker panicked");
+                    });
+                }
+            })
+        }));
         slots
             .into_iter()
-            .map(|slot| slot.into_inner().expect("every slot filled"))
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.into_inner().unwrap_or_else(|| SolveOutcome::Unsupported {
+                    reason: structured_panic_reason(
+                        Some(i),
+                        &items[i],
+                        "worker terminated before answering this item",
+                    ),
+                })
+            })
             .collect()
     }
 
@@ -313,7 +393,7 @@ impl Engine {
         };
         let mut estimate = 0u64;
         let mut plans = Vec::with_capacity(items.len());
-        for (item, &is_cached) in items.iter().zip(&cached) {
+        for (i, (item, &is_cached)) in items.iter().zip(&cached).enumerate() {
             // Once the cutoff is crossed the decision is final: stop
             // planning serially and let the workers plan the remaining
             // items in parallel (`solve_item` falls back to `route_with`
@@ -322,7 +402,14 @@ impl Engine {
                 plans.push(None);
                 continue;
             }
-            let planned = plan(item.apps, item.platform, item.spec);
+            // The planner runs on the calling thread, outside the worker
+            // guards — a panic here must degrade to that item's outcome,
+            // not abort the batch before it starts.
+            let planned =
+                catch_unwind(AssertUnwindSafe(|| plan(item.apps, item.platform, item.spec)))
+                    .unwrap_or_else(|panic| {
+                        Err(structured_panic_reason(Some(i), item, &panic_payload(&*panic)))
+                    });
             estimate = estimate.saturating_add(match &planned {
                 Ok(p) => p.cost_estimate(item.apps, item.platform, item.spec),
                 // Rejected specs cost one validation.
@@ -346,8 +433,35 @@ impl Engine {
         self.cache.lock().clear();
     }
 
+    /// [`Engine::solve_item`] behind the worker-level guard: any panic
+    /// reaching the batch loop — the fault-injection hook, the cache
+    /// layer, torn scratch state — degrades to a typed outcome for *this*
+    /// item; the worker keeps draining the cursor.
+    fn solve_item_guarded(
+        &self,
+        index: usize,
+        item: &BatchItem<'_>,
+        instance_key: Option<u128>,
+        planned: Option<&Planned>,
+        scratch: &mut RouterScratch,
+    ) -> SolveOutcome {
+        let res = catch_unwind(AssertUnwindSafe(|| {
+            if self.cfg.debug_panic_on_item == Some(index) {
+                panic!("injected fault: debug_panic_on_item({index})");
+            }
+            self.solve_item(Some(index), item, instance_key, planned, scratch)
+        }));
+        res.unwrap_or_else(|panic| {
+            *scratch = RouterScratch::new();
+            SolveOutcome::Unsupported {
+                reason: structured_panic_reason(Some(index), item, &panic_payload(&*panic)),
+            }
+        })
+    }
+
     fn solve_item(
         &self,
+        index: Option<usize>,
         item: &BatchItem<'_>,
         instance_key: Option<u128>,
         planned: Option<&Planned>,
@@ -376,12 +490,9 @@ impl Engine {
                 // The scratch may hold torn state after an unwind; replace
                 // it before the worker touches the next item.
                 *scratch = RouterScratch::new();
-                let what = panic
-                    .downcast_ref::<&str>()
-                    .map(|s| s.to_string())
-                    .or_else(|| panic.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "unknown panic".into());
-                SolveOutcome::Unsupported { reason: format!("solver panicked: {what}") }
+                SolveOutcome::Unsupported {
+                    reason: structured_panic_reason(index, item, &panic_payload(&*panic)),
+                }
             }
         };
         if let Some(k) = key {

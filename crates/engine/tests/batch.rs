@@ -80,7 +80,7 @@ fn mixed_batch_of_64_is_deterministic_ordered_and_complete() {
         for cache in [false, true] {
             // Cutoff 0: genuinely exercise the threaded path even though
             // the batch is tiny.
-            let engine = Engine::new(EngineConfig { threads, cache, min_parallel_cost: 0 });
+            let engine = Engine::new(EngineConfig { threads, cache, min_parallel_cost: 0, debug_panic_on_item: None });
             let results = engine.solve_batch(&items);
             assert_eq!(results.len(), 64);
             for (i, (got, want)) in results.iter().zip(&reference).enumerate() {
@@ -133,7 +133,7 @@ fn streaming_callback_sees_every_item_exactly_once() {
         specs.iter().map(|s| BatchItem::new(&apps, &pf, s)).collect();
     for threads in [1usize, 4] {
         let engine =
-            Engine::new(EngineConfig { threads, cache: false, min_parallel_cost: 0 });
+            Engine::new(EngineConfig { threads, cache: false, min_parallel_cost: 0, debug_panic_on_item: None });
         let seen = Mutex::new(vec![0usize; items.len()]);
         let results = engine.solve_batch_with(&items, |i, out| {
             seen.lock()[i] += 1;
@@ -265,6 +265,78 @@ fn cached_batch_is_no_slower_than_uncached() {
         cached <= uncached,
         "cache hits ({cached:?}) must not lose to re-solving ({uncached:?})"
     );
+}
+
+#[test]
+fn injected_worker_panic_fails_one_item_not_the_batch() {
+    // Regression test for the whole-batch abort: a panic that escapes the
+    // per-item router backstop (here injected straight into the batch
+    // loop) used to unwind through the scope join and kill the process.
+    // It must now degrade to a typed outcome for that item only, for
+    // every thread count.
+    let (apps, pf) = instance();
+    let spec = ProblemSpec::new(Objective::Period, Strategy::Interval, CommModel::Overlap);
+    let specs = vec![spec; 8];
+    let items: Vec<BatchItem<'_>> =
+        specs.iter().map(|s| BatchItem::new(&apps, &pf, s)).collect();
+    let reference = router::route(&apps, &pf, &specs[0]);
+    for threads in [1usize, 2, 4] {
+        let engine = Engine::new(EngineConfig {
+            threads,
+            cache: false,
+            min_parallel_cost: 0,
+            debug_panic_on_item: Some(3),
+        });
+        let results = engine.solve_batch(&items);
+        assert_eq!(results.len(), 8, "threads={threads}");
+        for (i, got) in results.iter().enumerate() {
+            if i == 3 {
+                let reason = match got {
+                    SolveOutcome::Unsupported { reason } => reason,
+                    other => panic!("threads={threads}: expected typed outcome, got {other:?}"),
+                };
+                let details = cpo_engine::panic_details(reason)
+                    .unwrap_or_else(|| panic!("unparseable backstop reason: {reason}"));
+                assert_eq!(details.item_index, Some(3));
+                assert_eq!(details.instance_digest.len(), 32);
+                assert_eq!(details.spec_digest.len(), 32);
+                assert!(details.payload.contains("injected fault"), "got: {}", details.payload);
+            } else {
+                assert_eq!(got, &reference, "threads={threads} item {i}");
+            }
+        }
+    }
+}
+
+#[test]
+fn panic_details_roundtrip_and_reject_ordinary_reasons() {
+    let (apps, pf) = instance();
+    let spec = ProblemSpec::new(Objective::Period, Strategy::Interval, CommModel::Overlap);
+    let items = [BatchItem::new(&apps, &pf, &spec)];
+    let engine = Engine::new(EngineConfig {
+        threads: 1,
+        cache: false,
+        min_parallel_cost: 0,
+        debug_panic_on_item: Some(0),
+    });
+    let results = engine.solve_batch(&items);
+    let reason = match &results[0] {
+        SolveOutcome::Unsupported { reason } => reason.clone(),
+        other => panic!("expected unsupported, got {other:?}"),
+    };
+    let details = cpo_engine::panic_details(&reason).expect("structured reason parses");
+    // The digests in the backstop are the real structural digests of the
+    // failing item — bundle export keys on them.
+    assert_eq!(
+        details.instance_digest,
+        cpo_model::hash::digest_hex(cpo_model::hash::hash_instance(&apps, &pf))
+    );
+    assert_eq!(
+        details.spec_digest,
+        cpo_model::hash::digest_hex(cpo_model::hash::hash_spec(&spec))
+    );
+    // Ordinary unsupported reasons are not misparsed as panics.
+    assert!(cpo_engine::panic_details("unsupported combination: general energy").is_none());
 }
 
 #[test]

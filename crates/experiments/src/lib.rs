@@ -1,0 +1,5 @@
+//! Library side of `cpo-experiments`: the trust subsystem (differential
+//! path runner, repro-bundle export, replay, fuzz fleet) factored out of
+//! the binary so the determinism guarantees are unit-testable.
+
+pub mod trust;

@@ -25,6 +25,16 @@
 //!   wavefront soak, or the Benes multistage-fabric instance) committed
 //!   under `examples/specs/`.
 //!
+//! And the trust subsystem (see the `trust` module of this crate):
+//!
+//! * `replay <bundle.json>` — re-execute a repro bundle bit-for-bit and
+//!   report whether the recorded observations reproduce (exit 0) or not
+//!   (exit 1);
+//! * `fuzz [--seconds N] [--seed S] [--threads N]` — time-boxed,
+//!   deterministically seeded differential fuzz over the full scenario
+//!   cross-product; any divergence is frozen into a bundle under
+//!   `repro-bundles/` (override with `CPO_BUNDLE_DIR`) and exits 1.
+//!
 //! `--check` closes the loop end-to-end: every routed solution is
 //! re-evaluated analytically *and* executed in the simulator (the
 //! wavefront core) over `--datasets` data sets (default 64; CI soaks the
@@ -49,12 +59,9 @@ use cpo_core::{Criterion, MappingKind};
 use cpo_model::gadgets::*;
 use cpo_model::generator::*;
 use cpo_model::prelude::*;
+use cpo_experiments::trust::{self, check_outcome, close, maybe_corrupt};
 use cpo_simulator::simulate;
 use std::time::Instant;
-
-fn close(a: f64, b: f64) -> bool {
-    (a - b).abs() < 1e-7 * (1.0 + a.abs().max(b.abs()))
-}
 
 fn status(ok: bool) -> &'static str {
     if ok {
@@ -959,109 +966,6 @@ fn dump() {
 // solve / batch: the typed front door (ProblemSpec → router → engine)
 // ---------------------------------------------------------------------------
 
-/// Cross-validate an outcome against its request: analytic re-evaluation
-/// plus a simulation of every plain mapping over `datasets` data sets
-/// (through the wavefront core backing `simulate`); the measured values
-/// must agree with the reported objective.
-fn check_outcome(req: &SolveRequest, out: &SolveOutcome, datasets: usize) -> Result<(), String> {
-    let apps = &req.apps;
-    let pf = &req.platform;
-    let comm = req.problem.comm;
-    // One validation, one analytic evaluation and one simulation per
-    // mapping, however many reported criteria it must agree with.
-    let check_plain = |mapping: &Mapping,
-                       expected: &[(Objective, f64)],
-                       what: &str|
-     -> Result<(), String> {
-        mapping
-            .validate(apps, pf)
-            .map_err(|e| format!("{what}: invalid mapping: {e}"))?;
-        let e = Evaluator::new(apps, pf).evaluate(mapping, comm);
-        if !req.problem.constraints.satisfied_by(&e.periods, &e.latencies, e.energy) {
-            return Err(format!("{what}: solution violates the spec constraints"));
-        }
-        let sim = simulate(apps, pf, mapping, comm, datasets);
-        for &(criterion, objective) in expected {
-            let (analytic, measured) = match criterion {
-                Objective::Period => (e.period, sim.period),
-                Objective::Latency => (e.latency, sim.latency),
-                Objective::Energy => (e.energy, sim.power),
-                _ => unreachable!("entries carry scalar criteria"),
-            };
-            if !close(analytic, objective) {
-                return Err(format!(
-                    "{what}: analytic {} {analytic} != reported {objective}",
-                    criterion.name()
-                ));
-            }
-            if !close(measured, objective) {
-                return Err(format!(
-                    "{what}: simulated {} {measured} != reported {objective}",
-                    criterion.name()
-                ));
-            }
-        }
-        Ok(())
-    };
-    match out {
-        SolveOutcome::Solution(s) => match &s.mapping {
-            SolvedMapping::Plain(m) => {
-                check_plain(m, &[(req.problem.objective, s.objective)], "solution")
-            }
-            SolvedMapping::Replicated(m) => {
-                m.validate(apps, pf).map_err(|e| format!("replicated mapping: {e}"))?;
-                let ev = cpo_model::replication::ReplicatedEvaluator::new(apps, pf);
-                let analytic = match req.problem.objective {
-                    Objective::Period => ev.period(m, comm),
-                    Objective::Latency => ev.latency(m),
-                    Objective::Energy => ev.energy(m),
-                    _ => return Err("front outcome with a replicated mapping".into()),
-                };
-                if close(analytic, s.objective) {
-                    Ok(())
-                } else {
-                    Err(format!("replicated: analytic {analytic} != reported {}", s.objective))
-                }
-            }
-            SolvedMapping::General(m) => {
-                m.validate(apps, pf).map_err(|e| format!("general mapping: {e}"))?;
-                let ev = cpo_model::sharing::GeneralEvaluator::new(apps, pf);
-                let analytic = match req.problem.objective {
-                    Objective::Period => ev.period(m, comm),
-                    Objective::Latency => ev.latency(m),
-                    Objective::Energy => ev.energy(m),
-                    _ => return Err("front outcome with a general mapping".into()),
-                };
-                if close(analytic, s.objective) {
-                    Ok(())
-                } else {
-                    Err(format!("general: analytic {analytic} != reported {}", s.objective))
-                }
-            }
-        },
-        SolveOutcome::Front(entries) => {
-            let (primary, secondary) = match req.problem.objective {
-                Objective::PeriodEnergyFront => (Objective::Period, Objective::Energy),
-                Objective::PeriodLatencyFront => (Objective::Period, Objective::Latency),
-                other => return Err(format!("front outcome for {} spec", other.name())),
-            };
-            for (i, entry) in entries.iter().enumerate() {
-                let m = entry
-                    .mapping
-                    .as_plain()
-                    .ok_or_else(|| format!("front point {i}: non-plain mapping"))?;
-                check_plain(
-                    m,
-                    &[(primary, entry.achieved), (secondary, entry.objective)],
-                    &format!("front point {i}"),
-                )?;
-            }
-            Ok(())
-        }
-        SolveOutcome::Infeasible { .. } | SolveOutcome::Unsupported { .. } => Ok(()),
-    }
-}
-
 fn engine_config(threads: Option<usize>) -> cpo_engine::EngineConfig {
     match threads {
         Some(n) => cpo_engine::EngineConfig::with_threads(n),
@@ -1078,17 +982,83 @@ fn cmd_solve(path: &str, check: bool, threads: Option<usize>, datasets: usize) {
         eprintln!("cannot parse `{path}`: {e}");
         std::process::exit(2);
     });
-    let engine = cpo_engine::Engine::new(engine_config(threads));
-    let out = engine.solve(&req.apps, &req.platform, &req.problem);
-    println!("{}", out.to_json().expect("outcome serializes"));
+    let cfg = engine_config(threads);
+    let engine = cpo_engine::Engine::new(cfg.clone());
+    let out = maybe_corrupt(engine.solve(&req.apps, &req.platform, &req.problem));
+    println!("{}", out.to_json().unwrap_or_else(|_| unrepresentable(&out)));
+    export_on_panic(&out, None, bundle_source(&req, &text), &cfg, datasets);
     if check {
         match check_outcome(&req, &out, datasets) {
             Ok(()) => eprintln!("check: ok ({})", out.kind()),
             Err(e) => {
                 eprintln!("check: MISMATCH: {e}");
+                export_on_mismatch(&e, None, bundle_source(&req, &text), &cfg, datasets);
                 std::process::exit(1);
             }
         }
+    }
+}
+
+/// The stand-in JSON line for an outcome the writer refuses (non-finite
+/// values): still one typed outcome per input line, never a crash.
+fn unrepresentable(out: &SolveOutcome) -> String {
+    SolveOutcome::Unsupported {
+        reason: format!("{} outcome not JSON-representable (non-finite values)", out.kind()),
+    }
+    .to_json_compact()
+    .expect("plain string reason serializes")
+}
+
+/// The bundle source for a request read from disk: the typed request when
+/// it can re-serialize, otherwise the original text verbatim (a poisoned
+/// instance with infinite values parses but will not re-serialize).
+fn bundle_source(req: &SolveRequest, raw: &str) -> BundleSource {
+    if req.to_json_compact().is_ok() {
+        BundleSource::Request(req.clone())
+    } else {
+        BundleSource::RawSpec(raw.trim().to_string())
+    }
+}
+
+/// If the outcome is a structured engine-panic backstop, freeze the
+/// request into a repro bundle (unconditionally — a panic is always worth
+/// keeping, `--check` or not).
+fn export_on_panic(
+    out: &SolveOutcome,
+    item: Option<usize>,
+    source: BundleSource,
+    cfg: &cpo_engine::EngineConfig,
+    datasets: usize,
+) {
+    if let SolveOutcome::Unsupported { reason } = out {
+        if let Some(details) = cpo_engine::panic_details(reason) {
+            match trust::export_bundle(
+                FailureKind::EnginePanic,
+                format!("engine panic: {}", details.payload),
+                item.or(details.item_index),
+                source,
+                cfg,
+                datasets,
+            ) {
+                Ok(path) => eprintln!("repro bundle written: {}", path.display()),
+                Err(e) => eprintln!("could not write repro bundle: {e}"),
+            }
+        }
+    }
+}
+
+/// Freeze a `--check` mismatch into a repro bundle.
+fn export_on_mismatch(
+    message: &str,
+    item: Option<usize>,
+    source: BundleSource,
+    cfg: &cpo_engine::EngineConfig,
+    datasets: usize,
+) {
+    match trust::export_bundle(FailureKind::CheckMismatch, message.to_string(), item, source, cfg, datasets)
+    {
+        Ok(path) => eprintln!("repro bundle written: {}", path.display()),
+        Err(e) => eprintln!("could not write repro bundle: {e}"),
     }
 }
 
@@ -1099,9 +1069,9 @@ fn cmd_batch(path: &str, check: bool, threads: Option<usize>, datasets: usize) {
     });
     // A malformed line becomes that line's unsupported outcome — it never
     // aborts the rest of the batch.
-    let parsed: Vec<Result<SolveRequest, String>> = text
-        .lines()
-        .filter(|l| !l.trim().is_empty())
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    let parsed: Vec<Result<SolveRequest, String>> = lines
+        .iter()
         .map(|l| SolveRequest::from_json(l).map_err(|e| format!("unparseable request: {e}")))
         .collect();
     let requests: Vec<&SolveRequest> = parsed.iter().filter_map(|r| r.as_ref().ok()).collect();
@@ -1109,7 +1079,8 @@ fn cmd_batch(path: &str, check: bool, threads: Option<usize>, datasets: usize) {
         .iter()
         .map(|r| cpo_engine::BatchItem::new(&r.apps, &r.platform, &r.problem))
         .collect();
-    let engine = cpo_engine::Engine::new(engine_config(threads));
+    let cfg = engine_config(threads);
+    let engine = cpo_engine::Engine::new(cfg.clone());
     let solved = engine.solve_batch_with(&items, |i, out| {
         eprintln!("[{}/{}] {}", i + 1, items.len(), out.kind());
     });
@@ -1119,17 +1090,19 @@ fn cmd_batch(path: &str, check: bool, threads: Option<usize>, datasets: usize) {
     let outcomes: Vec<SolveOutcome> = parsed
         .iter()
         .map(|r| match r {
-            Ok(_) => solved_iter.next().expect("one outcome per request"),
+            Ok(_) => maybe_corrupt(solved_iter.next().expect("one outcome per request")),
             Err(reason) => SolveOutcome::Unsupported { reason: reason.clone() },
         })
         .collect();
     let mut mismatches = 0usize;
     for (i, out) in outcomes.iter().enumerate() {
-        println!("{}", out.to_json_compact().expect("outcome serializes"));
-        if check {
-            if let Ok(req) = &parsed[i] {
+        println!("{}", out.to_json_compact().unwrap_or_else(|_| unrepresentable(out)));
+        if let Ok(req) = &parsed[i] {
+            export_on_panic(out, Some(i), bundle_source(req, lines[i]), &cfg, datasets);
+            if check {
                 if let Err(e) = check_outcome(req, out, datasets) {
                     eprintln!("check: item {i} MISMATCH: {e}");
+                    export_on_mismatch(&e, Some(i), bundle_source(req, lines[i]), &cfg, datasets);
                     mismatches += 1;
                 }
             }
@@ -1146,6 +1119,63 @@ fn cmd_batch(path: &str, check: bool, threads: Option<usize>, datasets: usize) {
         if mismatches > 0 {
             std::process::exit(1);
         }
+    }
+}
+
+fn cmd_replay(path: &str) {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read `{path}`: {e}");
+        std::process::exit(2);
+    });
+    let bundle = ReproBundle::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("cannot parse bundle `{path}`: {e}");
+        std::process::exit(2);
+    });
+    eprintln!(
+        "replaying bundle {} ({:?}: {})",
+        bundle.bundle_id, bundle.failure.kind, bundle.failure.message
+    );
+    match trust::replay(&bundle) {
+        Ok(report) => {
+            for line in &report.details {
+                eprintln!("  {line}");
+            }
+            for d in &report.divergences {
+                eprintln!("  divergence still present: {d}");
+            }
+            if report.confirmed {
+                println!("replay: CONFIRMED — every recorded path reproduced bit-for-bit");
+            } else {
+                println!("replay: NOT REPRODUCED — recorded observations differ from this run");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("replay failed: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn cmd_fuzz(seconds: u64, seed: u64, threads: Option<usize>) {
+    let cfg = engine_config(threads);
+    eprintln!(
+        "fuzz: {seconds}s time box, seed {seed}, bundles under `{}`",
+        trust::bundle_dir().display()
+    );
+    let report = trust::fuzz(seconds, seed, &cfg);
+    println!(
+        "fuzz: {} instances over {} scenarios ({} full sweeps), {} divergent",
+        report.executed,
+        report.scenarios,
+        report.iterations,
+        report.bundles.len()
+    );
+    for path in &report.bundles {
+        eprintln!("  bundle: {}", path.display());
+    }
+    if !report.bundles.is_empty() {
+        std::process::exit(1);
     }
 }
 
@@ -1311,6 +1341,18 @@ fn main() {
         None => 64,
     };
     let file = args.get(1).filter(|a| !a.starts_with("--")).cloned();
+    let u64_flag = |flag: &str, default: u64| -> u64 {
+        match args.iter().position(|a| a == flag) {
+            Some(i) => match args.get(i + 1).and_then(|v| v.parse::<u64>().ok()) {
+                Some(n) => n,
+                None => {
+                    eprintln!("{flag} needs a non-negative integer value");
+                    std::process::exit(2);
+                }
+            },
+            None => default,
+        }
+    };
     match cmd {
         "fig1" => fig1(),
         "table1" => table1(),
@@ -1341,6 +1383,18 @@ fn main() {
                 std::process::exit(2);
             }
         },
+        "replay" => match file {
+            Some(f) => cmd_replay(&f),
+            None => {
+                eprintln!("usage: cpo-experiments replay <bundle.json>");
+                std::process::exit(2);
+            }
+        },
+        "fuzz" => {
+            let seconds = u64_flag("--seconds", 10);
+            let seed = u64_flag("--seed", 0xC0FFEE);
+            cmd_fuzz(seconds, seed, threads);
+        }
         "spec-example" => spec_example(args.get(1).map(String::as_str)),
         "all" => {
             fig1();
@@ -1364,6 +1418,8 @@ fn main() {
             eprintln!(
                 "       cpo-experiments batch <specs.jsonl> [--check] [--threads N] [--datasets N]"
             );
+            eprintln!("       cpo-experiments replay <bundle.json>");
+            eprintln!("       cpo-experiments fuzz [--seconds N] [--seed S] [--threads N]");
             eprintln!("       cpo-experiments spec-example [batch|large|benes]");
             std::process::exit(2);
         }

@@ -1,0 +1,445 @@
+//! Deterministic repro bundles.
+//!
+//! A [`ReproBundle`] is a self-contained, versioned record of a trust
+//! failure: a `--check` mismatch, an engine panic, or a differential-fuzz
+//! divergence. It captures everything needed to re-execute the failing
+//! scenario bit-for-bit — the full [`SolveRequest`] (or the generator
+//! recipe + seeds that produced it), the structural digests of instance and
+//! spec, the engine configuration, and the per-path observed outcomes.
+//!
+//! Two invariants, following the bd-2808 contract idiom:
+//!
+//! * **Deterministic identity**: the bundle id is a structural hash of the
+//!   bundle's contents — no timestamps, hostnames or counters — so the
+//!   same failure always produces the same `bundle-<id>.json`, and re-runs
+//!   overwrite rather than accumulate.
+//! * **Bitwise observations**: floating-point observations are stored as
+//!   the hex of their IEEE-754 bit pattern (`Obs::bits`), never as decimal
+//!   text, so replay comparison is exact even for NaN payloads and signed
+//!   zeros that the JSON layer cannot round-trip.
+
+use crate::application::AppSet;
+use crate::generator::{self, AppGenConfig, PlatformGenConfig};
+use crate::hash::{digest_hex, hash_instance, hash_spec, StructuralHasher};
+use crate::io::serde_json_error;
+use crate::platform::Platform;
+use crate::spec::{ProblemSpec, SolveRequest, SPEC_VERSION};
+use crate::topology::MultistageNetwork;
+use serde::{Deserialize, Serialize};
+
+/// Current bundle schema version; bumped on incompatible changes.
+pub const BUNDLE_VERSION: u32 = 1;
+
+/// What went wrong.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FailureKind {
+    /// `--check` cross-validation (analytic vs simulated vs reported)
+    /// failed on a solved request.
+    CheckMismatch,
+    /// A solver panic escaped to the engine's backstop.
+    EnginePanic,
+    /// Two paths that must agree bitwise (routed vs planned vs engine vs
+    /// memo, wavefront vs DAG oracle, fast-forward on vs off) disagreed.
+    DifferentialMismatch,
+}
+
+/// The failure description carried by a bundle.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailureContext {
+    /// Failure class.
+    pub kind: FailureKind,
+    /// Human-readable description of the divergence or panic.
+    pub message: String,
+    /// Batch item index, when the failure came from a batch run.
+    #[serde(default)]
+    pub item_index: Option<usize>,
+}
+
+/// Which platform generator a [`GenRecipe`] drives.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PlatformKind {
+    /// [`generator::random_fully_homogeneous`].
+    FullyHomogeneous,
+    /// [`generator::random_comm_homogeneous`].
+    CommHomogeneous,
+    /// [`generator::random_fully_heterogeneous`].
+    FullyHeterogeneous,
+    /// Comm-homogeneous processors behind a Benes multistage fabric.
+    Multistage {
+        /// Fabric link bandwidth.
+        bandwidth: f64,
+        /// Per-hop latency of the fabric.
+        hop_latency: f64,
+    },
+}
+
+/// A deterministic generator recipe: configs + seeds + spec, enough to
+/// rebuild the exact [`SolveRequest`] without embedding it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GenRecipe {
+    /// Application generator ranges.
+    pub app_cfg: AppGenConfig,
+    /// Platform generator ranges.
+    pub platform_cfg: PlatformGenConfig,
+    /// Which platform family to draw.
+    pub platform_kind: PlatformKind,
+    /// Seed for the application draw.
+    pub app_seed: u64,
+    /// Seed for the platform draw.
+    pub platform_seed: u64,
+    /// The problem to solve on the generated instance.
+    pub spec: ProblemSpec,
+}
+
+impl GenRecipe {
+    /// Re-generate the exact request this recipe describes. Relies on the
+    /// generators being bit-deterministic for a given (config, seed) pair
+    /// — which `generator_determinism.rs` locks down.
+    pub fn materialize(&self) -> Result<SolveRequest, String> {
+        let apps = generator::random_apps(&self.app_cfg, self.app_seed);
+        let platform = self.materialize_platform(&apps)?;
+        Ok(SolveRequest {
+            version: SPEC_VERSION,
+            description: format!(
+                "generated: app_seed={} platform_seed={}",
+                self.app_seed, self.platform_seed
+            ),
+            apps,
+            platform,
+            problem: self.spec.clone(),
+        })
+    }
+
+    fn materialize_platform(&self, apps: &AppSet) -> Result<Platform, String> {
+        match &self.platform_kind {
+            PlatformKind::FullyHomogeneous => {
+                Ok(generator::random_fully_homogeneous(&self.platform_cfg, self.platform_seed))
+            }
+            PlatformKind::CommHomogeneous => {
+                Ok(generator::random_comm_homogeneous(&self.platform_cfg, self.platform_seed))
+            }
+            PlatformKind::FullyHeterogeneous => Ok(generator::random_fully_heterogeneous(
+                &self.platform_cfg,
+                apps.a(),
+                self.platform_seed,
+            )),
+            PlatformKind::Multistage { bandwidth, hop_latency } => {
+                let base =
+                    generator::random_comm_homogeneous(&self.platform_cfg, self.platform_seed);
+                let net = MultistageNetwork::new(*bandwidth, *hop_latency)
+                    .map_err(|e| format!("invalid multistage recipe: {e}"))?;
+                Platform::multistage(base.procs, net)
+                    .map_err(|e| format!("invalid multistage platform: {e}"))
+            }
+        }
+    }
+}
+
+/// Where the failing instance came from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BundleSource {
+    /// The full request, embedded verbatim (CLI `--check` failures).
+    Request(SolveRequest),
+    /// A generator recipe (fuzz failures — smaller, and proves the
+    /// generator path is deterministic end-to-end).
+    Generated(GenRecipe),
+    /// The request's original JSON text, embedded verbatim. Used when the
+    /// typed request cannot be re-serialized — e.g. a poisoned instance
+    /// whose infinite values the JSON writer refuses — so the bundle
+    /// preserves the exact bytes that reproduce it.
+    RawSpec(String),
+}
+
+impl BundleSource {
+    /// Produce the concrete request, regenerating it if needed.
+    pub fn materialize(&self) -> Result<SolveRequest, String> {
+        match self {
+            BundleSource::Request(req) => Ok(req.clone()),
+            BundleSource::Generated(recipe) => recipe.materialize(),
+            BundleSource::RawSpec(text) => SolveRequest::from_json(text)
+                .map_err(|e| format!("embedded raw spec does not parse: {e}")),
+        }
+    }
+}
+
+/// The engine configuration under which the failure was observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineSnapshot {
+    /// Worker threads.
+    pub threads: usize,
+    /// Memo cache enabled.
+    pub cache: bool,
+    /// Adaptive parallel cutoff.
+    pub min_parallel_cost: u64,
+}
+
+/// A single named floating-point observation, stored bitwise.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Obs {
+    /// What was measured (`"period"`, `"latency"`, `"power"`, ...).
+    pub name: String,
+    /// Hex of the IEEE-754 bit pattern (16 lowercase hex digits).
+    pub bits: String,
+    /// Human-readable approximation — display only, never compared.
+    pub approx: String,
+}
+
+impl Obs {
+    /// Record a value bitwise.
+    pub fn of(name: impl Into<String>, value: f64) -> Self {
+        Obs { name: name.into(), bits: format!("{:016x}", value.to_bits()), approx: format!("{value}") }
+    }
+
+    /// Recover the exact value (None on a malformed bundle).
+    pub fn value(&self) -> Option<f64> {
+        u64::from_str_radix(self.bits.trim_start_matches("0x"), 16).ok().map(f64::from_bits)
+    }
+}
+
+/// What one execution path observed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PathObservation {
+    /// Path name (`"routed"`, `"planned"`, `"engine"`, `"memo-cached"`,
+    /// `"sim-wavefront"`, `"sim-dag"`, `"sim-no-ff"`, `"analytic"`, ...).
+    pub path: String,
+    /// Structural digest of the path's outcome (32 lowercase hex digits),
+    /// or an empty string when the path reports raw values only.
+    #[serde(default)]
+    pub digest: String,
+    /// Named bitwise observations (simulation/analytic paths).
+    #[serde(default)]
+    pub values: Vec<Obs>,
+    /// One-line human-readable summary of the outcome.
+    #[serde(default)]
+    pub summary: String,
+}
+
+/// A complete, re-executable record of one trust failure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReproBundle {
+    /// Bundle schema version.
+    pub version: u32,
+    /// Deterministic content hash (16 lowercase hex digits); filled by
+    /// [`ReproBundle::seal`].
+    pub bundle_id: String,
+    /// Free-form provenance (which tool exported it, under what flags).
+    pub description: String,
+    /// What went wrong.
+    pub failure: FailureContext,
+    /// The failing instance, embedded or as a recipe.
+    pub source: BundleSource,
+    /// Structural digest of (apps, platform) — guards against generator
+    /// drift between export and replay.
+    pub instance_digest: String,
+    /// Structural digest of the problem spec.
+    pub spec_digest: String,
+    /// Engine configuration in effect.
+    pub engine: EngineSnapshot,
+    /// Dataset count used by the simulation paths.
+    pub datasets: usize,
+    /// Every path that was executed, with its observed outcome.
+    pub paths: Vec<PathObservation>,
+}
+
+impl ReproBundle {
+    /// Assemble and seal a bundle. Digests are computed from the
+    /// materialized source so replay can verify the source still
+    /// regenerates the same instance.
+    pub fn new(
+        description: impl Into<String>,
+        failure: FailureContext,
+        source: BundleSource,
+        engine: EngineSnapshot,
+        datasets: usize,
+        paths: Vec<PathObservation>,
+    ) -> Result<Self, String> {
+        let req = source.materialize()?;
+        let mut bundle = ReproBundle {
+            version: BUNDLE_VERSION,
+            bundle_id: String::new(),
+            description: description.into(),
+            failure,
+            source,
+            instance_digest: digest_hex(hash_instance(&req.apps, &req.platform)),
+            spec_digest: digest_hex(hash_spec(&req.problem)),
+            engine,
+            datasets,
+            paths,
+        };
+        bundle.seal();
+        Ok(bundle)
+    }
+
+    /// Recompute the deterministic bundle id from the bundle's contents.
+    /// No timestamps or counters participate, so identical failures yield
+    /// identical ids.
+    pub fn seal(&mut self) {
+        let mut h = StructuralHasher::new();
+        h.write_u64(u64::from(self.version));
+        h.write_usize(match self.failure.kind {
+            FailureKind::CheckMismatch => 0,
+            FailureKind::EnginePanic => 1,
+            FailureKind::DifferentialMismatch => 2,
+        });
+        h.write_str(&self.failure.message);
+        match self.failure.item_index {
+            None => h.write_bool(false),
+            Some(i) => {
+                h.write_bool(true);
+                h.write_usize(i);
+            }
+        }
+        h.write_str(&self.instance_digest);
+        h.write_str(&self.spec_digest);
+        h.write_usize(self.engine.threads);
+        h.write_bool(self.engine.cache);
+        h.write_u64(self.engine.min_parallel_cost);
+        h.write_usize(self.datasets);
+        h.write_usize(self.paths.len());
+        for p in &self.paths {
+            h.write_str(&p.path);
+            h.write_str(&p.digest);
+            h.write_usize(p.values.len());
+            for v in &p.values {
+                h.write_str(&v.name);
+                h.write_str(&v.bits);
+            }
+        }
+        self.bundle_id = format!("{:016x}", (h.finish() >> 64) as u64 ^ h.finish() as u64);
+    }
+
+    /// The canonical file name: `bundle-<id>.json`.
+    pub fn file_name(&self) -> String {
+        format!("bundle-{}.json", self.bundle_id)
+    }
+
+    /// Materialize the request to re-execute.
+    pub fn request(&self) -> Result<SolveRequest, String> {
+        self.source.materialize()
+    }
+
+    /// Serialize to pretty JSON.
+    pub fn to_json(&self) -> Result<String, String> {
+        serde_json_error::to_string_pretty(self).map_err(|e| format!("bundle serialize: {e}"))
+    }
+
+    /// Deserialize from JSON, checking the schema version.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let bundle: ReproBundle =
+            serde_json_error::from_str(json).map_err(|e| format!("bundle parse: {e}"))?;
+        if bundle.version != BUNDLE_VERSION {
+            return Err(format!(
+                "unsupported bundle version {} (expected {BUNDLE_VERSION})",
+                bundle.version
+            ));
+        }
+        Ok(bundle)
+    }
+
+    /// Write `bundle-<id>.json` under `dir` (created if missing); returns
+    /// the full path.
+    pub fn write_to_dir(&self, dir: &std::path::Path) -> Result<std::path::PathBuf, String> {
+        let json = self.to_json()?;
+        std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+        let path = dir.join(self.file_name());
+        std::fs::write(&path, json).map_err(|e| format!("write {}: {e}", path.display()))?;
+        Ok(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::CommModel;
+    use crate::spec::{Objective, Strategy};
+
+    fn sample_recipe() -> GenRecipe {
+        GenRecipe {
+            app_cfg: AppGenConfig::default(),
+            platform_cfg: PlatformGenConfig::default(),
+            platform_kind: PlatformKind::CommHomogeneous,
+            app_seed: 11,
+            platform_seed: 12,
+            spec: ProblemSpec::new(Objective::Period, Strategy::Interval, CommModel::Overlap),
+        }
+    }
+
+    fn sample_bundle() -> ReproBundle {
+        ReproBundle::new(
+            "unit test",
+            FailureContext {
+                kind: FailureKind::DifferentialMismatch,
+                message: "routed != planned".into(),
+                item_index: Some(3),
+            },
+            BundleSource::Generated(sample_recipe()),
+            EngineSnapshot { threads: 4, cache: true, min_parallel_cost: 64 },
+            16,
+            vec![PathObservation {
+                path: "routed".into(),
+                digest: "00ff".into(),
+                values: vec![Obs::of("period", 1.5), Obs::of("nan", f64::NAN)],
+                summary: "Solution".into(),
+            }],
+        )
+        .expect("bundle builds")
+    }
+
+    #[test]
+    fn bundle_roundtrips_through_json() {
+        let b = sample_bundle();
+        let json = b.to_json().expect("serializes");
+        let back = ReproBundle::from_json(&json).expect("parses");
+        assert_eq!(b, back);
+    }
+
+    #[test]
+    fn bundle_id_is_deterministic_and_content_sensitive() {
+        let a = sample_bundle();
+        let b = sample_bundle();
+        assert_eq!(a.bundle_id, b.bundle_id);
+        assert_eq!(a.bundle_id.len(), 16);
+        let mut c = sample_bundle();
+        c.failure.message = "different".into();
+        c.seal();
+        assert_ne!(a.bundle_id, c.bundle_id);
+    }
+
+    #[test]
+    fn recipe_materializes_deterministically() {
+        let recipe = sample_recipe();
+        let r1 = recipe.materialize().expect("materializes");
+        let r2 = recipe.materialize().expect("materializes");
+        assert_eq!(
+            hash_instance(&r1.apps, &r1.platform),
+            hash_instance(&r2.apps, &r2.platform)
+        );
+        let b = sample_bundle();
+        assert_eq!(b.instance_digest, digest_hex(hash_instance(&r1.apps, &r1.platform)));
+    }
+
+    #[test]
+    fn multistage_recipe_builds_a_multistage_platform() {
+        let mut recipe = sample_recipe();
+        recipe.platform_kind = PlatformKind::Multistage { bandwidth: 1.0, hop_latency: 0.05 };
+        let req = recipe.materialize().expect("materializes");
+        assert!(req.platform.topology.is_multistage());
+    }
+
+    #[test]
+    fn nan_observations_survive_the_json_layer() {
+        let b = sample_bundle();
+        let json = b.to_json().expect("serializes despite NaN observation");
+        let back = ReproBundle::from_json(&json).expect("parses");
+        let obs = &back.paths[0].values[1];
+        assert!(obs.value().expect("bits decode").is_nan());
+    }
+
+    #[test]
+    fn version_mismatch_is_rejected() {
+        let mut b = sample_bundle();
+        b.version = 99;
+        let json = b.to_json().expect("serializes");
+        assert!(ReproBundle::from_json(&json).is_err());
+    }
+}

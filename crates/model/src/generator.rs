@@ -15,9 +15,10 @@ use crate::application::{AppSet, Application, Stage};
 use crate::platform::{Links, Platform, Processor};
 use rand::prelude::*;
 use rand::rngs::StdRng;
+use serde::{Deserialize, Serialize};
 
 /// Ranges for random application generation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AppGenConfig {
     /// Number of applications.
     pub apps: usize,
@@ -38,7 +39,7 @@ impl Default for AppGenConfig {
 }
 
 /// Ranges for random platform generation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PlatformGenConfig {
     /// Number of processors.
     pub procs: usize,

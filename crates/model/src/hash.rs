@@ -22,9 +22,15 @@
 
 use crate::application::{AppSet, Application, Stage};
 use crate::eval::CommModel;
+use crate::mapping::{Assignment, Interval, Mapping};
 use crate::objective::Thresholds;
 use crate::platform::{Links, Platform, Processor};
-use crate::spec::{Objective, ProblemSpec, SolverHints, Strategy};
+use crate::replication::{ReplicatedAssignment, ReplicatedMapping};
+use crate::sharing::{GeneralMapping, SharedAssignment};
+use crate::spec::{
+    FrontEntry, Objective, ProblemSpec, SolveOutcome, SolvedMapping, SolvedPoint, SolverHints,
+    Strategy,
+};
 use crate::topology::CommTopology;
 
 /// splitmix64 finalizer: a full-avalanche 64-bit mixer.
@@ -296,6 +302,131 @@ impl StableHash for ProblemSpec {
     }
 }
 
+impl StableHash for Interval {
+    fn stable_hash(&self, h: &mut StructuralHasher) {
+        h.write_usize(self.app);
+        h.write_usize(self.first);
+        h.write_usize(self.last);
+    }
+}
+
+impl StableHash for Assignment {
+    fn stable_hash(&self, h: &mut StructuralHasher) {
+        self.interval.stable_hash(h);
+        h.write_usize(self.proc);
+        h.write_usize(self.mode);
+    }
+}
+
+impl StableHash for Mapping {
+    fn stable_hash(&self, h: &mut StructuralHasher) {
+        h.write_usize(self.assignments.len());
+        for a in &self.assignments {
+            a.stable_hash(h);
+        }
+    }
+}
+
+impl StableHash for ReplicatedAssignment {
+    fn stable_hash(&self, h: &mut StructuralHasher) {
+        self.interval.stable_hash(h);
+        h.write_usize(self.procs.len());
+        for &p in &self.procs {
+            h.write_usize(p);
+        }
+        h.write_usize(self.modes.len());
+        for &m in &self.modes {
+            h.write_usize(m);
+        }
+    }
+}
+
+impl StableHash for ReplicatedMapping {
+    fn stable_hash(&self, h: &mut StructuralHasher) {
+        h.write_usize(self.assignments.len());
+        for a in &self.assignments {
+            a.stable_hash(h);
+        }
+    }
+}
+
+impl StableHash for SharedAssignment {
+    fn stable_hash(&self, h: &mut StructuralHasher) {
+        self.interval.stable_hash(h);
+        h.write_usize(self.proc);
+        h.write_usize(self.mode);
+    }
+}
+
+impl StableHash for GeneralMapping {
+    fn stable_hash(&self, h: &mut StructuralHasher) {
+        h.write_usize(self.assignments.len());
+        for a in &self.assignments {
+            a.stable_hash(h);
+        }
+    }
+}
+
+impl StableHash for SolvedMapping {
+    fn stable_hash(&self, h: &mut StructuralHasher) {
+        match self {
+            SolvedMapping::Plain(m) => {
+                h.write_u64(0);
+                m.stable_hash(h);
+            }
+            SolvedMapping::Replicated(m) => {
+                h.write_u64(1);
+                m.stable_hash(h);
+            }
+            SolvedMapping::General(m) => {
+                h.write_u64(2);
+                m.stable_hash(h);
+            }
+        }
+    }
+}
+
+impl StableHash for SolvedPoint {
+    fn stable_hash(&self, h: &mut StructuralHasher) {
+        h.write_f64(self.objective);
+        self.mapping.stable_hash(h);
+    }
+}
+
+impl StableHash for FrontEntry {
+    fn stable_hash(&self, h: &mut StructuralHasher) {
+        h.write_f64(self.achieved);
+        h.write_f64(self.objective);
+        self.mapping.stable_hash(h);
+    }
+}
+
+impl StableHash for SolveOutcome {
+    fn stable_hash(&self, h: &mut StructuralHasher) {
+        match self {
+            SolveOutcome::Solution(p) => {
+                h.write_u64(0);
+                p.stable_hash(h);
+            }
+            SolveOutcome::Front(entries) => {
+                h.write_u64(1);
+                h.write_usize(entries.len());
+                for e in entries {
+                    e.stable_hash(h);
+                }
+            }
+            SolveOutcome::Infeasible { reason } => {
+                h.write_u64(2);
+                h.write_str(reason);
+            }
+            SolveOutcome::Unsupported { reason } => {
+                h.write_u64(3);
+                h.write_str(reason);
+            }
+        }
+    }
+}
+
 /// 128-bit digest of an instance (applications + platform).
 pub fn hash_instance(apps: &AppSet, platform: &Platform) -> u128 {
     let mut h = StructuralHasher::new();
@@ -309,6 +440,28 @@ pub fn hash_spec(spec: &ProblemSpec) -> u128 {
     let mut h = StructuralHasher::new();
     spec.stable_hash(&mut h);
     h.finish()
+}
+
+/// 128-bit digest of a solve outcome — every field bitwise (objectives and
+/// front points by f64 bit pattern, mappings structurally), so two
+/// outcomes digest equal iff they are bit-for-bit the same answer. This is
+/// what repro bundles record and what `replay` compares: it survives NaN
+/// contamination that JSON round-trips cannot represent.
+pub fn hash_outcome(outcome: &SolveOutcome) -> u128 {
+    let mut h = StructuralHasher::new();
+    outcome.stable_hash(&mut h);
+    h.finish()
+}
+
+/// Canonical lower-hex rendering of a 128-bit digest (for bundles, file
+/// names and structured panic reasons).
+pub fn digest_hex(d: u128) -> String {
+    format!("{d:032x}")
+}
+
+/// Parse [`digest_hex`] output back (accepts an optional `0x` prefix).
+pub fn parse_digest_hex(s: &str) -> Option<u128> {
+    u128::from_str_radix(s.trim_start_matches("0x"), 16).ok()
 }
 
 #[cfg(test)]

@@ -28,6 +28,7 @@
 //! processor sharing ([`sharing`]).
 
 pub mod application;
+pub mod bundle;
 pub mod energy;
 pub mod error;
 pub mod eval;
@@ -45,6 +46,10 @@ pub mod spec;
 pub mod topology;
 
 pub use application::{AppSet, Application, Stage};
+pub use bundle::{
+    BundleSource, EngineSnapshot, FailureContext, FailureKind, GenRecipe, Obs, PathObservation,
+    PlatformKind, ReproBundle, BUNDLE_VERSION,
+};
 pub use energy::EnergyModel;
 pub use error::ModelError;
 pub use eval::{CommModel, Evaluation, Evaluator};
@@ -60,6 +65,10 @@ pub use topology::{CommTopology, MultistageNetwork, UniformComm};
 /// Convenient prelude bringing the whole model vocabulary into scope.
 pub mod prelude {
     pub use crate::application::{AppSet, Application, Stage};
+    pub use crate::bundle::{
+        BundleSource, EngineSnapshot, FailureContext, FailureKind, GenRecipe, Obs,
+        PathObservation, PlatformKind, ReproBundle, BUNDLE_VERSION,
+    };
     pub use crate::energy::EnergyModel;
     pub use crate::error::ModelError;
     pub use crate::eval::{CommModel, Evaluation, Evaluator};

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# kick-tires.sh — the five-minute artifact check.
+#
+# One command, no arguments: build the workspace, run the tier-1 test
+# suite, regenerate the paper's Section 2 numbers (fig1), smoke the typed
+# solve/batch front door on the committed example specs, and run a short
+# deterministic differential fuzz. Everything a reviewer needs to trust
+# the artifact before reading any further.
+#
+# Environment:
+#   FUZZ_SECONDS  time box for the fuzz pass (default 60)
+#   FUZZ_SEED     master seed for the fuzz pass (default 1)
+#   CPO_BUNDLE_DIR  where divergence bundles go (default repro-bundles/)
+#
+# Exit codes: 0 everything green; the first failing step's code otherwise
+# (1 = a check or fuzz divergence — look for bundle-*.json, then
+# `cpo-experiments replay <bundle>`).
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FUZZ_SECONDS="${FUZZ_SECONDS:-60}"
+FUZZ_SEED="${FUZZ_SEED:-1}"
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "build (release)"
+cargo build --release --workspace
+
+step "tier-1 tests (cargo test -q)"
+cargo test -q
+
+step "Section 2 numbers (fig1)"
+cargo run --release -p cpo_experiments -- fig1
+
+step "typed front door smoke (solve/batch --check on committed specs)"
+cargo run --release -p cpo_experiments -- solve examples/specs/section2_energy.json --check
+cargo run --release -p cpo_experiments -- batch examples/specs/batch_mixed.jsonl --check --threads 2
+cargo run --release -p cpo_experiments -- solve examples/specs/benes.json --check
+
+step "differential fuzz (${FUZZ_SECONDS}s, seed ${FUZZ_SEED})"
+cargo run --release -p cpo_experiments -- fuzz --seconds "${FUZZ_SECONDS}" --seed "${FUZZ_SEED}"
+
+step "kick-tires: all green"
