@@ -119,7 +119,7 @@ fn bench(c: &mut Criterion) {
     g.bench_function("engine_batch64_forced_par", |b| {
         b.iter(|| {
             let engine =
-                Engine::new(EngineConfig { threads: 4, cache: false, min_parallel_cost: 0, debug_panic_on_item: None });
+                Engine::new(EngineConfig { threads: 4, cache: false, min_parallel_cost: 0, ..EngineConfig::default() });
             engine.solve_batch(black_box(&items)).len()
         })
     });

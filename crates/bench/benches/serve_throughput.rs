@@ -1,0 +1,134 @@
+//! Serve-path throughput: requests/second through the full
+//! [`cpo_serve::Server`] stack — admission, per-tenant governor,
+//! bounded queue, worker dispatch with scratch reuse, memo cache, and
+//! the reply sink — measured as one drain of a prebuilt request batch
+//! per iteration (server start/stop included: that is what the drill
+//! and `--once` mode pay).
+//!
+//! * `duplicate_heavy_512` — 512 requests cycling 8 distinct digests:
+//!   the memo-cache fast path that dominates a steady-state service;
+//! * `mixed_256` — 3/4 duplicate-heavy, 1/4 adversarial (infeasible
+//!   bounds, malformed bound counts, unsupported combinations): the
+//!   typed-rejection paths must not drag the solve path down;
+//! * `adversarial_mix_256` — the all-adversarial worst case: every
+//!   request walks the router's unsupported/infeasible returns;
+//! * `*_p50` / `*_p99` — per-request latency percentiles reported by the
+//!   server's own log₂-bucket histogram after a dedicated mixed run,
+//!   recorded as direct-value rows so `bench_diff` gates tail latency,
+//!   not just aggregate throughput.
+
+use cpo_model::prelude::*;
+use cpo_model::spec::Strategy;
+use cpo_serve::{ServeConfig, Server, ServerHooks};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+fn duplicate_spec(slot: u64) -> ProblemSpec {
+    let tb = 0.25 * (slot % 8 + 1) as f64;
+    ProblemSpec::new(Objective::Energy, Strategy::Interval, CommModel::Overlap)
+        .with_period_bounds(vec![tb, tb])
+}
+
+fn adversarial_spec(slot: u64) -> ProblemSpec {
+    match slot % 3 {
+        0 => ProblemSpec::new(Objective::Energy, Strategy::Interval, CommModel::Overlap)
+            .with_period_bounds(vec![1e-6, 1e-6]),
+        1 => ProblemSpec::new(Objective::Energy, Strategy::Interval, CommModel::NoOverlap)
+            .with_period_bounds(vec![2.0]),
+        _ => ProblemSpec::new(Objective::Energy, Strategy::General, CommModel::Overlap)
+            .with_period_bounds(vec![2.0, 2.0]),
+    }
+}
+
+/// `n` requests with the given adversarial fraction (in quarters).
+fn requests(n: usize, adversarial_quarters: u64) -> Vec<SolveRequest> {
+    let (apps, _) = cpo_model::generator::section2_example();
+    let platform = Platform::fully_homogeneous(3, vec![1.0, 3.0, 6.0, 8.0], 1.0).unwrap();
+    (0..n)
+        .map(|i| {
+            let r = splitmix64(0x5e4e ^ (i as u64).wrapping_mul(0x2545f4914f6cdd1d));
+            let spec = if r % 4 < adversarial_quarters {
+                adversarial_spec(r >> 2)
+            } else {
+                duplicate_spec(r >> 2)
+            };
+            SolveRequest::new(format!("bench #{i}"), apps.clone(), platform.clone(), spec)
+                .with_id(format!("b-{i}"))
+                .with_tenant(format!("t{}", i % 4))
+        })
+        .collect()
+}
+
+fn serve_cfg() -> ServeConfig {
+    ServeConfig {
+        threads: 4,
+        queue_capacity: 1024,
+        engine: cpo_engine::EngineConfig { threads: 1, ..Default::default() },
+        ..Default::default()
+    }
+}
+
+/// Start a server, push the whole batch, drain; panics if a reply went
+/// missing (the bench must never time a silently-dropping server).
+fn drain_batch(reqs: &[SolveRequest]) -> cpo_serve::StatsSnapshot {
+    let replies = Arc::new(AtomicU64::new(0));
+    let sink = {
+        let replies = replies.clone();
+        Arc::new(move |_reply: &cpo_serve::ServeReply| {
+            replies.fetch_add(1, Ordering::Relaxed);
+        })
+    };
+    let server = Server::start(serve_cfg(), sink, ServerHooks::default());
+    for req in reqs {
+        server.submit(req.clone());
+    }
+    let snap = server.drain();
+    assert_eq!(
+        replies.load(Ordering::Relaxed),
+        reqs.len() as u64,
+        "serve bench dropped replies"
+    );
+    snap
+}
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(10).measurement_time(std::time::Duration::from_secs(10));
+
+    let duplicate = requests(512, 0);
+    group.throughput(Throughput::Elements(duplicate.len() as u64));
+    group.bench_function("duplicate_heavy_512", |b| {
+        b.iter(|| drain_batch(&duplicate));
+    });
+
+    let mixed = requests(256, 1);
+    group.throughput(Throughput::Elements(mixed.len() as u64));
+    group.bench_function("mixed_256", |b| {
+        b.iter(|| drain_batch(&mixed));
+    });
+
+    let adversarial = requests(256, 4);
+    group.throughput(Throughput::Elements(adversarial.len() as u64));
+    group.bench_function("adversarial_mix_256", |b| {
+        b.iter(|| drain_batch(&adversarial));
+    });
+    group.finish();
+
+    // Tail latency from the server's own histogram, over one dedicated
+    // mixed run (not averaged across timing iterations: the gate tracks
+    // what a single drill run reports).
+    let snap = drain_batch(&mixed);
+    c.report_value_ns("serve_latency/mixed_256_p50", (snap.p50_ms * 1e6) as u128);
+    c.report_value_ns("serve_latency/mixed_256_p99", (snap.p99_ms * 1e6) as u128);
+}
+
+criterion_group!(benches, bench_serve_throughput);
+criterion_main!(benches);

@@ -35,6 +35,10 @@
 //!   as each outcome lands (from the worker that produced it), so callers
 //!   can report progress or forward results while the batch continues.
 
+pub mod cache;
+
+use cache::ShardedLru;
+pub use cache::CacheKey;
 use cpo_core::router::{plan, route_planned, route_with, Plan, RouterScratch};
 use cpo_model::hash::{digest_hex, hash_instance, hash_spec};
 use cpo_model::prelude::*;
@@ -75,9 +79,6 @@ impl<'a> BatchItem<'a> {
 
 }
 
-/// (instance digest, spec digest) — see [`cpo_model::hash`].
-type CacheKey = (u128, u128);
-
 /// A planner verdict computed once by the adaptive cutoff and reused by
 /// the solve (`Err` carries the unsupported-combination reason exactly
 /// as `route_with` would report it).
@@ -89,6 +90,12 @@ type Planned = Result<Plan, String>;
 /// `router_dispatch/engine_batch64_*` bench rows gate this).
 pub const DEFAULT_PARALLEL_CUTOFF: u64 = 50_000_000;
 
+/// Default [`EngineConfig::cache_capacity`]: enough for every distinct
+/// spec a realistic batch or a day of duplicate-heavy serving carries,
+/// small enough (outcomes are table-sized mappings) to bound a long-lived
+/// server's footprint.
+pub const DEFAULT_CACHE_CAPACITY: usize = 1 << 16;
+
 /// Engine configuration.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
@@ -98,6 +105,11 @@ pub struct EngineConfig {
     pub threads: usize,
     /// Enable the instance-keyed memo cache.
     pub cache: bool,
+    /// Maximum memoized outcomes (sharded LRU; the least recently used
+    /// entry is evicted when full). Evictions are counted in
+    /// [`CacheStats`] and can never change a result — a re-miss
+    /// recomputes the same deterministic outcome bit-for-bit.
+    pub cache_capacity: usize,
     /// Adaptive parallel cutoff: a batch whose summed
     /// [`Plan::cost_estimate`](cpo_core::router::Plan::cost_estimate)
     /// falls below this many abstract work units runs on the calling
@@ -114,11 +126,13 @@ pub struct EngineConfig {
 }
 
 impl Default for EngineConfig {
-    /// One worker per core, cache on, default cutoff.
+    /// One worker per core, cache on at the default capacity, default
+    /// cutoff.
     fn default() -> Self {
         EngineConfig {
             threads: 0,
             cache: true,
+            cache_capacity: DEFAULT_CACHE_CAPACITY,
             min_parallel_cost: DEFAULT_PARALLEL_CUTOFF,
             debug_panic_on_item: None,
         }
@@ -141,6 +155,12 @@ impl EngineConfig {
     /// `threads`).
     pub fn with_parallel_cutoff(mut self, min_parallel_cost: u64) -> Self {
         self.min_parallel_cost = min_parallel_cost;
+        self
+    }
+
+    /// Replace the memo-cache capacity (entries).
+    pub fn with_cache_capacity(mut self, cache_capacity: usize) -> Self {
+        self.cache_capacity = cache_capacity;
         self
     }
 }
@@ -197,22 +217,29 @@ fn structured_panic_reason(index: Option<usize>, item: &BatchItem<'_>, payload: 
     )
 }
 
-/// Memo-cache counters (monotone over the engine's lifetime).
+/// Memo-cache counters (monotone over the engine's lifetime, except
+/// `entries` which is the live count).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
-    /// Batch items answered from the cache.
+    /// Items answered from the cache.
     pub hits: u64,
-    /// Batch items that ran a solver.
+    /// Items that ran a solver.
     pub misses: u64,
+    /// LRU entries evicted to make room.
+    pub evictions: u64,
+    /// Live cached outcomes right now.
+    pub entries: u64,
 }
 
 /// The batched solve engine. Cheap to construct; reusable across batches
-/// (the memo cache persists and keeps filling).
+/// and across serve requests (the bounded memo cache persists and keeps
+/// filling, evicting least-recently-used outcomes when full).
 pub struct Engine {
     cfg: EngineConfig,
-    cache: Mutex<HashMap<CacheKey, SolveOutcome>>,
+    cache: ShardedLru<SolveOutcome>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl Default for Engine {
@@ -224,20 +251,38 @@ impl Default for Engine {
 impl Engine {
     /// Engine with the given configuration.
     pub fn new(cfg: EngineConfig) -> Self {
+        let capacity = cfg.cache_capacity.max(1);
         Engine {
             cfg,
-            cache: Mutex::new(HashMap::new()),
+            cache: ShardedLru::new(capacity),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
     /// Solve one spec (routes through the cache like a 1-item batch).
     pub fn solve(&self, apps: &AppSet, platform: &Platform, spec: &ProblemSpec) -> SolveOutcome {
+        let mut scratch = RouterScratch::new();
+        self.solve_with(apps, platform, spec, &mut scratch)
+    }
+
+    /// Solve one spec on a caller-owned [`RouterScratch`] — the serving
+    /// hot path, where each long-lived worker reuses its flat DP arenas
+    /// across requests instead of reallocating per solve. Panics degrade
+    /// to the structured typed backstop exactly as in batches (the
+    /// scratch is replaced before reuse), so a poison request can never
+    /// take a serve worker down.
+    pub fn solve_with(
+        &self,
+        apps: &AppSet,
+        platform: &Platform,
+        spec: &ProblemSpec,
+        scratch: &mut RouterScratch,
+    ) -> SolveOutcome {
         let item = BatchItem::new(apps, platform, spec);
         let ikey = self.cfg.cache.then(|| item.instance_key());
-        let mut scratch = RouterScratch::new();
-        self.solve_item(None, &item, ikey, None, &mut scratch)
+        self.solve_item_guarded(None, &item, ikey, None, scratch)
     }
 
     /// Solve a batch; `results[i]` answers `items[i]`.
@@ -270,7 +315,7 @@ impl Engine {
                 .enumerate()
                 .map(|(i, ((item, ikey), planned))| {
                     let out =
-                        self.solve_item_guarded(i, item, *ikey, planned.as_ref(), &mut scratch);
+                        self.solve_item_guarded(Some(i), item, *ikey, planned.as_ref(), &mut scratch);
                     on_result(i, &out);
                     out
                 })
@@ -296,7 +341,7 @@ impl Engine {
                                 break;
                             }
                             let out = self.solve_item_guarded(
-                                i,
+                                Some(i),
                                 &items[i],
                                 instance_keys[i],
                                 plans[i].as_ref(),
@@ -376,16 +421,16 @@ impl Engine {
         if threads <= 1 || self.cfg.min_parallel_cost == 0 {
             return (threads, vec![None; items.len()]);
         }
-        // Snapshot cache membership under one short lock (plain hash
-        // probes), so the planning loop below never blocks concurrent
-        // lookups on this engine.
+        // Snapshot cache membership with per-shard probes (`contains`
+        // does not bump recency — planning an item is not a use), so the
+        // planning loop below never blocks concurrent lookups on this
+        // engine.
         let cached: Vec<bool> = if self.cfg.cache {
-            let cache = self.cache.lock();
             items
                 .iter()
                 .zip(instance_keys)
                 .map(|(item, ikey)| {
-                    ikey.is_some_and(|ik| cache.contains_key(&item.cache_key(ik)))
+                    ikey.is_some_and(|ik| self.cache.contains(&item.cache_key(ik)))
                 })
                 .collect()
         } else {
@@ -425,12 +470,14 @@ impl Engine {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.cache.len() as u64,
         }
     }
 
-    /// Drop every memoized outcome.
+    /// Drop every memoized outcome (the counters keep accumulating).
     pub fn clear_cache(&self) {
-        self.cache.lock().clear();
+        self.cache.clear();
     }
 
     /// [`Engine::solve_item`] behind the worker-level guard: any panic
@@ -439,22 +486,24 @@ impl Engine {
     /// item; the worker keeps draining the cursor.
     fn solve_item_guarded(
         &self,
-        index: usize,
+        index: Option<usize>,
         item: &BatchItem<'_>,
         instance_key: Option<u128>,
         planned: Option<&Planned>,
         scratch: &mut RouterScratch,
     ) -> SolveOutcome {
         let res = catch_unwind(AssertUnwindSafe(|| {
-            if self.cfg.debug_panic_on_item == Some(index) {
-                panic!("injected fault: debug_panic_on_item({index})");
+            if let (Some(i), Some(target)) = (index, self.cfg.debug_panic_on_item) {
+                if i == target {
+                    panic!("injected fault: debug_panic_on_item({i})");
+                }
             }
-            self.solve_item(Some(index), item, instance_key, planned, scratch)
+            self.solve_item(index, item, instance_key, planned, scratch)
         }));
         res.unwrap_or_else(|panic| {
             *scratch = RouterScratch::new();
             SolveOutcome::Unsupported {
-                reason: structured_panic_reason(Some(index), item, &panic_payload(&*panic)),
+                reason: structured_panic_reason(index, item, &panic_payload(&*panic)),
             }
         })
     }
@@ -469,7 +518,7 @@ impl Engine {
     ) -> SolveOutcome {
         let key = instance_key.map(|ik| item.cache_key(ik));
         if let Some(k) = &key {
-            if let Some(hit) = self.cache.lock().get(k).cloned() {
+            if let Some(hit) = self.cache.get(k) {
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return hit;
             }
@@ -496,7 +545,9 @@ impl Engine {
             }
         };
         if let Some(k) = key {
-            self.cache.lock().insert(k, out.clone());
+            if self.cache.insert(k, out.clone()) {
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
         }
         out
     }

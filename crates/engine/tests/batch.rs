@@ -80,7 +80,7 @@ fn mixed_batch_of_64_is_deterministic_ordered_and_complete() {
         for cache in [false, true] {
             // Cutoff 0: genuinely exercise the threaded path even though
             // the batch is tiny.
-            let engine = Engine::new(EngineConfig { threads, cache, min_parallel_cost: 0, debug_panic_on_item: None });
+            let engine = Engine::new(EngineConfig { threads, cache, min_parallel_cost: 0, ..EngineConfig::default() });
             let results = engine.solve_batch(&items);
             assert_eq!(results.len(), 64);
             for (i, (got, want)) in results.iter().zip(&reference).enumerate() {
@@ -133,7 +133,7 @@ fn streaming_callback_sees_every_item_exactly_once() {
         specs.iter().map(|s| BatchItem::new(&apps, &pf, s)).collect();
     for threads in [1usize, 4] {
         let engine =
-            Engine::new(EngineConfig { threads, cache: false, min_parallel_cost: 0, debug_panic_on_item: None });
+            Engine::new(EngineConfig { threads, cache: false, min_parallel_cost: 0, ..EngineConfig::default() });
         let seen = Mutex::new(vec![0usize; items.len()]);
         let results = engine.solve_batch_with(&items, |i, out| {
             seen.lock()[i] += 1;
@@ -286,6 +286,7 @@ fn injected_worker_panic_fails_one_item_not_the_batch() {
             cache: false,
             min_parallel_cost: 0,
             debug_panic_on_item: Some(3),
+            ..EngineConfig::default()
         });
         let results = engine.solve_batch(&items);
         assert_eq!(results.len(), 8, "threads={threads}");
@@ -318,6 +319,7 @@ fn panic_details_roundtrip_and_reject_ordinary_reasons() {
         cache: false,
         min_parallel_cost: 0,
         debug_panic_on_item: Some(0),
+        ..EngineConfig::default()
     });
     let results = engine.solve_batch(&items);
     let reason = match &results[0] {
@@ -350,5 +352,55 @@ fn batch_results_match_single_solves() {
     let fresh = Engine::new(EngineConfig::sequential());
     for (i, spec) in specs.iter().enumerate() {
         assert_eq!(batched[i], fresh.solve(&apps, &pf, spec), "item {i}");
+    }
+}
+
+#[test]
+fn bounded_cache_evictions_never_change_results() {
+    // Duplicate-heavy batch against a deliberately tiny cache: ~40
+    // distinct structural keys cycled three times over 16 single-slot
+    // shards guarantees eviction churn (pigeonhole), and the re-misses
+    // must recompute bit-for-bit what was evicted.
+    let (apps, pf) = instance();
+    let mut specs = Vec::new();
+    for _round in 0..3 {
+        for i in 0..40u32 {
+            let comm = if i % 2 == 0 { CommModel::Overlap } else { CommModel::NoOverlap };
+            let tb = 0.25 * f64::from(i / 2 + 1);
+            specs.push(
+                ProblemSpec::new(Objective::Energy, Strategy::Interval, comm)
+                    .with_period_bounds(vec![tb, tb]),
+            );
+        }
+    }
+    let items: Vec<BatchItem<'_>> =
+        specs.iter().map(|s| BatchItem::new(&apps, &pf, s)).collect();
+
+    let reference = Engine::new(EngineConfig {
+        threads: 1,
+        cache: false,
+        min_parallel_cost: 0,
+        ..EngineConfig::default()
+    })
+    .solve_batch(&items);
+
+    for threads in [1usize, 4] {
+        let engine = Engine::new(
+            EngineConfig { threads, min_parallel_cost: 0, ..EngineConfig::default() }
+                .with_cache_capacity(1),
+        );
+        let results = engine.solve_batch(&items);
+        let stats = engine.cache_stats();
+        assert!(
+            stats.evictions > 0,
+            "threads={threads}: 40 keys over single-slot shards must evict, got {stats:?}"
+        );
+        assert!(
+            stats.entries <= cpo_engine::cache::SHARDS as u64,
+            "threads={threads}: bounded cache overflowed: {stats:?}"
+        );
+        for (i, (got, want)) in results.iter().zip(&reference).enumerate() {
+            assert_eq!(got, want, "threads={threads} item {i} diverged after evictions");
+        }
     }
 }

@@ -2,4 +2,5 @@
 //! path runner, repro-bundle export, replay, fuzz fleet) factored out of
 //! the binary so the determinism guarantees are unit-testable.
 
+pub mod serve_cli;
 pub mod trust;

@@ -59,6 +59,7 @@ use cpo_core::{Criterion, MappingKind};
 use cpo_model::gadgets::*;
 use cpo_model::generator::*;
 use cpo_model::prelude::*;
+use cpo_experiments::serve_cli;
 use cpo_experiments::trust::{self, check_outcome, close, maybe_corrupt};
 use cpo_simulator::simulate;
 use std::time::Instant;
@@ -1395,6 +1396,39 @@ fn main() {
             let seed = u64_flag("--seed", 0xC0FFEE);
             cmd_fuzz(seconds, seed, threads);
         }
+        "serve" => {
+            let str_flag = |flag: &str| -> Option<String> {
+                args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+            };
+            let f64_flag = |flag: &str, default: f64| -> f64 {
+                match args.iter().position(|a| a == flag) {
+                    Some(i) => match args.get(i + 1).and_then(|v| v.parse::<f64>().ok()) {
+                        Some(x) if x >= 0.0 => x,
+                        _ => {
+                            eprintln!("{flag} needs a non-negative number");
+                            std::process::exit(2);
+                        }
+                    },
+                    None => default,
+                }
+            };
+            let defaults = serve_cli::ServeCliOptions::default();
+            let opts = serve_cli::ServeCliOptions {
+                once: args.iter().any(|a| a == "--once"),
+                socket: str_flag("--socket"),
+                threads,
+                queue: u64_flag("--queue", defaults.queue as u64).max(1) as usize,
+                rate: f64_flag("--rate", defaults.rate),
+                burst: f64_flag("--burst", defaults.burst),
+                strikes: u64_flag("--strikes", u64::from(defaults.strikes)).max(1) as u32,
+                check,
+                datasets,
+                stats_secs: u64_flag("--stats-secs", defaults.stats_secs),
+                downgrade: args.iter().any(|a| a == "--downgrade"),
+                cost_per_ms: u64_flag("--cost-per-ms", defaults.cost_per_ms).max(1),
+            };
+            std::process::exit(serve_cli::cmd_serve(opts));
+        }
         "spec-example" => spec_example(args.get(1).map(String::as_str)),
         "all" => {
             fig1();
@@ -1420,6 +1454,11 @@ fn main() {
             );
             eprintln!("       cpo-experiments replay <bundle.json>");
             eprintln!("       cpo-experiments fuzz [--seconds N] [--seed S] [--threads N]");
+            eprintln!(
+                "       cpo-experiments serve [--once] [--socket PATH] [--threads N] \
+                 [--queue N] [--rate R] [--burst B] [--strikes K] [--check] [--datasets N] \
+                 [--stats-secs S] [--downgrade] [--cost-per-ms U]"
+            );
             eprintln!("       cpo-experiments spec-example [batch|large|benes]");
             std::process::exit(2);
         }

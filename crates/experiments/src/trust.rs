@@ -88,7 +88,7 @@ pub fn snapshot_config(snap: &EngineSnapshot) -> EngineConfig {
         threads: snap.threads,
         cache: snap.cache,
         min_parallel_cost: snap.min_parallel_cost,
-        debug_panic_on_item: None,
+        ..EngineConfig::default()
     }
 }
 

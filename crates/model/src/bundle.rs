@@ -23,7 +23,7 @@ use crate::generator::{self, AppGenConfig, PlatformGenConfig};
 use crate::hash::{digest_hex, hash_instance, hash_spec, StructuralHasher};
 use crate::io::serde_json_error;
 use crate::platform::Platform;
-use crate::spec::{ProblemSpec, SolveRequest, SPEC_VERSION};
+use crate::spec::{ProblemSpec, SolveRequest};
 use crate::topology::MultistageNetwork;
 use serde::{Deserialize, Serialize};
 
@@ -98,16 +98,12 @@ impl GenRecipe {
     pub fn materialize(&self) -> Result<SolveRequest, String> {
         let apps = generator::random_apps(&self.app_cfg, self.app_seed);
         let platform = self.materialize_platform(&apps)?;
-        Ok(SolveRequest {
-            version: SPEC_VERSION,
-            description: format!(
-                "generated: app_seed={} platform_seed={}",
-                self.app_seed, self.platform_seed
-            ),
+        Ok(SolveRequest::new(
+            format!("generated: app_seed={} platform_seed={}", self.app_seed, self.platform_seed),
             apps,
             platform,
-            problem: self.spec.clone(),
-        })
+            self.spec.clone(),
+        ))
     }
 
     fn materialize_platform(&self, apps: &AppSet) -> Result<Platform, String> {

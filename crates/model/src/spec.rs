@@ -368,7 +368,17 @@ impl SolveOutcome {
 }
 
 /// A self-contained solve request: instance + problem, the unit of work of
-/// the batch engine and of the `solve`/`batch` CLI subcommands.
+/// the batch engine, of the `solve`/`batch` CLI subcommands, and of the
+/// long-lived serve loop.
+///
+/// The serving envelope (`id`/`tenant`/`deadline_ms`) is optional and
+/// ignored by the one-shot paths: `id` is echoed back so a streaming
+/// client can correlate replies, `tenant` keys the server's per-tenant
+/// token-bucket fairness, and `deadline_ms` is the soft deadline budget
+/// (milliseconds from admission) the server enforces at dequeue and at
+/// router-plan time. None of the three participates in the structural
+/// digests — two requests for the same work share cache entries and
+/// quarantine state regardless of who sent them or how urgently.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SolveRequest {
     /// Request schema version.
@@ -376,6 +386,17 @@ pub struct SolveRequest {
     /// Free-form description (provenance, purpose).
     #[serde(default)]
     pub description: String,
+    /// Client-assigned correlation id, echoed verbatim in serve replies.
+    #[serde(default)]
+    pub id: Option<String>,
+    /// Fairness key for the serve admission controller (absent = the
+    /// anonymous tenant).
+    #[serde(default)]
+    pub tenant: Option<String>,
+    /// Soft deadline budget in milliseconds from admission (absent = no
+    /// deadline).
+    #[serde(default)]
+    pub deadline_ms: Option<u64>,
     /// The concurrent applications.
     pub apps: AppSet,
     /// The target platform.
@@ -395,10 +416,31 @@ impl SolveRequest {
         SolveRequest {
             version: SPEC_VERSION,
             description: description.into(),
+            id: None,
+            tenant: None,
+            deadline_ms: None,
             apps,
             platform,
             problem,
         }
+    }
+
+    /// Attach a correlation id (echoed in serve replies).
+    pub fn with_id(mut self, id: impl Into<String>) -> Self {
+        self.id = Some(id.into());
+        self
+    }
+
+    /// Attach a tenant fairness key.
+    pub fn with_tenant(mut self, tenant: impl Into<String>) -> Self {
+        self.tenant = Some(tenant.into());
+        self
+    }
+
+    /// Attach a soft deadline budget (milliseconds from admission).
+    pub fn with_deadline_ms(mut self, deadline_ms: u64) -> Self {
+        self.deadline_ms = Some(deadline_ms);
+        self
     }
 
     /// Serialize to pretty JSON.
@@ -465,6 +507,33 @@ mod tests {
         let mut bad = req.clone();
         bad.version = 99;
         assert!(SolveRequest::from_json(&bad.to_json().unwrap()).is_err());
+    }
+
+    #[test]
+    fn envelope_fields_roundtrip_and_default() {
+        let (apps, platform) = section2_example();
+        let req = SolveRequest::new("s2", apps, platform, spec())
+            .with_id("req-42")
+            .with_tenant("team-a")
+            .with_deadline_ms(250);
+        let json = req.to_json().unwrap();
+        let back = SolveRequest::from_json(&json).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(back.id.as_deref(), Some("req-42"));
+        assert_eq!(back.tenant.as_deref(), Some("team-a"));
+        assert_eq!(back.deadline_ms, Some(250));
+        // Pre-envelope requests (no id/tenant/deadline keys) still parse.
+        let compact = SolveRequest::new("bare", back.apps.clone(), back.platform.clone(), spec())
+            .to_json_compact()
+            .unwrap();
+        let stripped = compact
+            .replace("\"id\":null,", "")
+            .replace("\"tenant\":null,", "")
+            .replace("\"deadline_ms\":null,", "");
+        let bare = SolveRequest::from_json(&stripped).unwrap();
+        assert_eq!(bare.id, None);
+        assert_eq!(bare.tenant, None);
+        assert_eq!(bare.deadline_ms, None);
     }
 
     #[test]

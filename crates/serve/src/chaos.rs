@@ -1,0 +1,157 @@
+//! Fault injection for the serve drill (`CPO_SERVE_CHAOS`).
+//!
+//! The chaos spec is a comma-separated list:
+//!
+//! * `panic=P` — with probability `P`, the worker panics mid-request
+//!   (exercises the exactly-once reply guarantee and strike counting);
+//! * `stall=P:MS` — with probability `P`, the worker sleeps `MS`
+//!   milliseconds before solving (exercises deadline shedding and drain
+//!   under slow solvers);
+//! * `poison=MARKER` — a request whose description contains `MARKER`
+//!   always panics the worker (a deterministic poison digest, so the
+//!   drill can prove strikes accumulate into quarantine).
+//!
+//! Decisions are a pure function of `(seed, admission sequence number)`
+//! via splitmix64 — `CPO_SERVE_CHAOS_SEED` replays a drill bit-for-bit,
+//! whatever the thread interleaving.
+
+/// What the injector decided for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosAction {
+    /// No fault.
+    None,
+    /// Panic the worker while it holds the request.
+    Panic,
+    /// Sleep this many milliseconds before solving.
+    Stall(u64),
+}
+
+/// Parsed chaos configuration.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ChaosConfig {
+    /// Probability of an injected worker panic.
+    pub panic_p: f64,
+    /// Probability of an injected stall.
+    pub stall_p: f64,
+    /// Stall duration, milliseconds.
+    pub stall_ms: u64,
+    /// Description substring that always panics the worker.
+    pub poison_marker: Option<String>,
+    /// Decision seed.
+    pub seed: u64,
+}
+
+impl ChaosConfig {
+    /// Parse a `CPO_SERVE_CHAOS` spec (see module docs). Empty spec =
+    /// no faults.
+    pub fn parse(spec: &str, seed: u64) -> Result<Self, String> {
+        let mut cfg = ChaosConfig { seed, ..ChaosConfig::default() };
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) = part
+                .split_once('=')
+                .ok_or_else(|| format!("chaos: `{part}` is not key=value"))?;
+            match key {
+                "panic" => {
+                    cfg.panic_p = parse_probability(value)
+                        .ok_or_else(|| format!("chaos: panic probability `{value}`"))?;
+                }
+                "stall" => {
+                    let (p, ms) = value
+                        .split_once(':')
+                        .ok_or_else(|| format!("chaos: stall wants P:MS, got `{value}`"))?;
+                    cfg.stall_p = parse_probability(p)
+                        .ok_or_else(|| format!("chaos: stall probability `{p}`"))?;
+                    cfg.stall_ms =
+                        ms.parse().map_err(|_| format!("chaos: stall millis `{ms}`"))?;
+                }
+                "poison" => cfg.poison_marker = Some(value.to_string()),
+                other => return Err(format!("chaos: unknown fault `{other}`")),
+            }
+        }
+        Ok(cfg)
+    }
+
+    /// True when the spec injects nothing.
+    pub fn is_inert(&self) -> bool {
+        self.panic_p == 0.0 && self.stall_p == 0.0 && self.poison_marker.is_none()
+    }
+
+    /// The verdict for admission sequence number `seq` on a request with
+    /// this description. Pure: same `(seed, seq, description)` → same
+    /// action on every run and thread.
+    pub fn decide(&self, seq: u64, description: &str) -> ChaosAction {
+        if let Some(marker) = &self.poison_marker {
+            if description.contains(marker.as_str()) {
+                return ChaosAction::Panic;
+            }
+        }
+        let unit = splitmix64(self.seed ^ seq.wrapping_mul(0x9e3779b97f4a7c15)) as f64
+            / (u64::MAX as f64);
+        if unit < self.panic_p {
+            ChaosAction::Panic
+        } else if unit < self.panic_p + self.stall_p {
+            ChaosAction::Stall(self.stall_ms)
+        } else {
+            ChaosAction::None
+        }
+    }
+}
+
+fn parse_probability(s: &str) -> Option<f64> {
+    let p: f64 = s.parse().ok()?;
+    (0.0..=1.0).contains(&p).then_some(p)
+}
+
+/// splitmix64: the standard 64-bit finalizer-style mixer.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_spec() {
+        let cfg = ChaosConfig::parse("panic=0.1, stall=0.25:20, poison=BAD", 7).unwrap();
+        assert_eq!(cfg.panic_p, 0.1);
+        assert_eq!(cfg.stall_p, 0.25);
+        assert_eq!(cfg.stall_ms, 20);
+        assert_eq!(cfg.poison_marker.as_deref(), Some("BAD"));
+        assert_eq!(cfg.seed, 7);
+        assert!(!cfg.is_inert());
+        assert!(ChaosConfig::parse("", 0).unwrap().is_inert());
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!(ChaosConfig::parse("panic", 0).is_err());
+        assert!(ChaosConfig::parse("panic=2.0", 0).is_err());
+        assert!(ChaosConfig::parse("stall=0.5", 0).is_err());
+        assert!(ChaosConfig::parse("warp=0.5", 0).is_err());
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_roughly_calibrated() {
+        let cfg = ChaosConfig::parse("panic=0.2,stall=0.3:5", 42).unwrap();
+        let first: Vec<ChaosAction> = (0..4000).map(|s| cfg.decide(s, "r")).collect();
+        let second: Vec<ChaosAction> = (0..4000).map(|s| cfg.decide(s, "r")).collect();
+        assert_eq!(first, second, "same seed, same verdicts");
+        let panics = first.iter().filter(|a| **a == ChaosAction::Panic).count();
+        let stalls = first.iter().filter(|a| **a == ChaosAction::Stall(5)).count();
+        assert!((600..1000).contains(&panics), "~20% of 4000, got {panics}");
+        assert!((1000..1500).contains(&stalls), "~30% of 4000, got {stalls}");
+    }
+
+    #[test]
+    fn poison_marker_always_fires() {
+        let cfg = ChaosConfig::parse("poison=BAD", 0).unwrap();
+        for seq in 0..100 {
+            assert_eq!(cfg.decide(seq, "a BAD spec"), ChaosAction::Panic);
+            assert_eq!(cfg.decide(seq, "a good spec"), ChaosAction::None);
+        }
+    }
+}

@@ -1,0 +1,87 @@
+//! Poison quarantine: the per-digest circuit breaker.
+//!
+//! Every failure attributable to a specific piece of work — an engine
+//! panic degraded to the typed backstop, a `--check` mismatch, a worker
+//! panic while holding the request — charges one *strike* against the
+//! request's structural identity, the `(instance digest, spec digest)`
+//! pair ([`cpo_model::hash`]). After `threshold` strikes the digest is
+//! quarantined: admission rejects it instantly with a typed
+//! `Rejected{quarantined}` until an operator reset. Identity is
+//! structural, so a poison spec resubmitted under a different tenant or
+//! id is still caught, while envelope-only differences never quarantine
+//! innocent work.
+
+use cpo_engine::CacheKey;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// The strike counter / circuit breaker.
+pub struct Quarantine {
+    strikes: Mutex<HashMap<CacheKey, u32>>,
+    threshold: u32,
+}
+
+impl Quarantine {
+    /// Breaker opening after `threshold` strikes (minimum 1).
+    pub fn new(threshold: u32) -> Self {
+        Quarantine { strikes: Mutex::new(HashMap::new()), threshold: threshold.max(1) }
+    }
+
+    /// The configured strike threshold.
+    pub fn threshold(&self) -> u32 {
+        self.threshold
+    }
+
+    /// Charge one strike; returns the new count for this digest.
+    pub fn strike(&self, key: CacheKey) -> u32 {
+        let mut strikes = self.strikes.lock();
+        let n = strikes.entry(key).or_insert(0);
+        *n += 1;
+        *n
+    }
+
+    /// True when the digest has reached the threshold.
+    pub fn is_quarantined(&self, key: &CacheKey) -> bool {
+        self.strikes.lock().get(key).is_some_and(|&n| n >= self.threshold)
+    }
+
+    /// Digests currently quarantined.
+    pub fn quarantined(&self) -> usize {
+        self.strikes.lock().values().filter(|&&n| n >= self.threshold).count()
+    }
+
+    /// Operator reset: forget every strike.
+    pub fn reset(&self) {
+        self.strikes.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opens_at_threshold_and_resets() {
+        let q = Quarantine::new(3);
+        let key = (1u128, 2u128);
+        assert_eq!(q.strike(key), 1);
+        assert!(!q.is_quarantined(&key));
+        assert_eq!(q.strike(key), 2);
+        assert!(!q.is_quarantined(&key));
+        assert_eq!(q.strike(key), 3);
+        assert!(q.is_quarantined(&key));
+        assert_eq!(q.quarantined(), 1);
+        q.reset();
+        assert!(!q.is_quarantined(&key));
+        assert_eq!(q.quarantined(), 0);
+    }
+
+    #[test]
+    fn digests_are_independent() {
+        let q = Quarantine::new(1);
+        q.strike((1, 1));
+        assert!(q.is_quarantined(&(1, 1)));
+        assert!(!q.is_quarantined(&(1, 2)));
+        assert!(!q.is_quarantined(&(2, 1)));
+    }
+}

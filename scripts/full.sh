@@ -40,6 +40,11 @@ cargo run --release -p cpo_experiments -- solve examples/specs/benes.json --chec
 step "differential fuzz (${FUZZ_SECONDS}s, seed ${FUZZ_SEED})"
 cargo run --release -p cpo_experiments -- fuzz --seconds "${FUZZ_SECONDS}" --seed "${FUZZ_SEED}"
 
+step "serve chaos drills (full matrix)"
+for drill in panic stall poison flood none; do
+  ./scripts/serve-drill.sh "$drill"
+done
+
 step "bench re-measure (fresh JSON report)"
 CPO_BENCH_JSON="$PWD/BENCH_FULL.json" cargo bench -p cpo_bench
 

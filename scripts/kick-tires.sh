@@ -41,4 +41,12 @@ cargo run --release -p cpo_experiments -- solve examples/specs/benes.json --chec
 step "differential fuzz (${FUZZ_SECONDS}s, seed ${FUZZ_SEED})"
 cargo run --release -p cpo_experiments -- fuzz --seconds "${FUZZ_SECONDS}" --seed "${FUZZ_SEED}"
 
+step "serve smoke (drain the committed envelope batch, verify the reply contract)"
+SERVE_WORK="$(mktemp -d)"
+trap 'rm -rf "$SERVE_WORK"' EXIT
+target/release/cpo-experiments serve --once --stats-secs 0 \
+  < examples/specs/serve_smoke.jsonl > "$SERVE_WORK/replies.jsonl"
+target/release/load_gen verify \
+  --requests examples/specs/serve_smoke.jsonl --responses "$SERVE_WORK/replies.jsonl"
+
 step "kick-tires: all green"

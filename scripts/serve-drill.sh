@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# serve-drill.sh — chaos drill for the solve service.
+#
+#   scripts/serve-drill.sh [panic|stall|poison|flood|none]
+#
+# Generates a deterministic load with `load_gen gen`, streams it through
+# `cpo-experiments serve --once` under the requested fault injection, and
+# verifies the service contract with `load_gen verify`: every submitted
+# line — including deliberately unparseable garbage — got exactly one
+# typed reply. Repro bundles frozen by injected failures land in
+# $CPO_BUNDLE_DIR (default serve-drill-bundles/).
+#
+# Environment:
+#   DRILL_COUNT   requests per drill (default 256)
+#   DRILL_SEED    load_gen / chaos seed (default 1)
+#   CPO_BUNDLE_DIR  bundle export directory
+#
+# Exit codes: 0 contract held; 1 a reply went missing, was duplicated, or
+# the server crashed; 2 usage / build problems.
+
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+MODE="${1:-panic}"
+DRILL_COUNT="${DRILL_COUNT:-256}"
+DRILL_SEED="${DRILL_SEED:-1}"
+export CPO_BUNDLE_DIR="${CPO_BUNDLE_DIR:-$PWD/serve-drill-bundles}"
+
+GEN_ARGS=(--count "$DRILL_COUNT" --seed "$DRILL_SEED" --garbage 3)
+SERVE_ARGS=(serve --once --stats-secs 0)
+case "$MODE" in
+  panic)
+    export CPO_SERVE_CHAOS="panic=0.2" CPO_SERVE_CHAOS_SEED="$DRILL_SEED"
+    GEN_ARGS+=(--mix mixed)
+    ;;
+  stall)
+    export CPO_SERVE_CHAOS="stall=0.3:20" CPO_SERVE_CHAOS_SEED="$DRILL_SEED"
+    GEN_ARGS+=(--mix mixed)
+    SERVE_ARGS+=(--threads 4)
+    ;;
+  poison)
+    export CPO_SERVE_CHAOS="poison=POISON" CPO_SERVE_CHAOS_SEED="$DRILL_SEED"
+    GEN_ARGS+=(--mix duplicate --poison 4)
+    SERVE_ARGS+=(--strikes 2)
+    ;;
+  flood)
+    # No fault injection: one tenant floods a rate-limited server; the
+    # contract still demands a typed reply (Rejected{rate_limited}) per
+    # line.
+    GEN_ARGS+=(--mix flood)
+    SERVE_ARGS+=(--rate 50 --burst 8)
+    ;;
+  none)
+    GEN_ARGS+=(--mix mixed)
+    ;;
+  *)
+    echo "usage: $0 [panic|stall|poison|flood|none]" >&2
+    exit 2
+    ;;
+esac
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "build (release)"
+cargo build --release -p cpo_experiments || exit 2
+
+BIN=target/release/cpo-experiments
+LOAD_GEN=target/release/load_gen
+WORK="$(mktemp -d)"
+trap 'rm -rf "$WORK"' EXIT
+
+step "generate load (mode=$MODE, count=$DRILL_COUNT, seed=$DRILL_SEED)"
+"$LOAD_GEN" gen "${GEN_ARGS[@]}" > "$WORK/requests.jsonl" || exit 2
+
+step "serve --once under CPO_SERVE_CHAOS='${CPO_SERVE_CHAOS:-}'"
+if ! "$BIN" "${SERVE_ARGS[@]}" < "$WORK/requests.jsonl" > "$WORK/replies.jsonl"; then
+  echo "serve-drill: server exited nonzero" >&2
+  exit 1
+fi
+
+step "verify the reply contract"
+"$LOAD_GEN" verify --requests "$WORK/requests.jsonl" --responses "$WORK/replies.jsonl" || exit 1
+
+if [ -d "$CPO_BUNDLE_DIR" ] && [ -n "$(ls -A "$CPO_BUNDLE_DIR" 2>/dev/null)" ]; then
+  step "repro bundles frozen by injected failures"
+  ls "$CPO_BUNDLE_DIR"
+fi
+
+step "serve-drill($MODE): contract held"

@@ -284,6 +284,20 @@ impl Criterion {
         self
     }
 
+    /// Record a directly-measured value, in nanoseconds, as a report row.
+    ///
+    /// Not part of upstream criterion. For quantities the harness cannot
+    /// time as a closure — e.g. latency percentiles a server reports
+    /// after a load run — this stores the value as the row's median (and
+    /// mean) so `bench_diff` gates it like any timed benchmark.
+    pub fn report_value_ns(&mut self, name: impl Into<String>, value_ns: u128) -> &mut Self {
+        let name = name.into();
+        let as_dur = Duration::from_nanos(value_ns.min(u64::MAX as u128) as u64);
+        println!("{name:<50} value: [{as_dur:>10.3?}] (reported)");
+        self.records.push(BenchRecord { name, median_ns: value_ns, mean_ns: value_ns, iters: 1 });
+        self
+    }
+
     fn run_one<F>(
         &mut self,
         name: &str,
